@@ -1,0 +1,112 @@
+/// \file bench_primitives.cc
+/// \brief google-benchmark microbenchmarks of the MPC primitives and the
+/// sequential substrate (Section 2 building blocks).
+
+#include <benchmark/benchmark.h>
+
+#include "mpc/cluster.h"
+#include "mpc/hypercube.h"
+#include "mpc/primitives.h"
+#include "query/catalog.h"
+#include "relation/oracle.h"
+#include "workload/generators.h"
+
+namespace coverpack {
+namespace {
+
+void BM_HashPartition(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  Hypergraph q = catalog::Line3();
+  Rng rng(1);
+  Relation data = workload::UniformRandom(q.edge(0).attrs, n, n / 4 + 1, &rng);
+  for (auto _ : state) {
+    Cluster cluster(64);
+    DistRelation input = DistRelation::InitialPlacement(cluster, data);
+    DistRelation output =
+        mpc::HashPartition(&cluster, input, AttrSet::Single(*q.FindAttribute("B")), 0);
+    benchmark::DoNotOptimize(output.TotalSize());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_HashPartition)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_DegreeByValue(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  Hypergraph q = catalog::Line3();
+  Rng rng(2);
+  Relation data = workload::Zipf(q.edge(0).attrs, n, n / 4 + 1, 1.0, &rng);
+  for (auto _ : state) {
+    Cluster cluster(64);
+    DistRelation input = DistRelation::InitialPlacement(cluster, data);
+    uint32_t round = 0;
+    auto degrees = mpc::DegreeByValue(&cluster, input, *q.FindAttribute("A"), &round);
+    benchmark::DoNotOptimize(degrees.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_DegreeByValue)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_SemiJoinMpc(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  Hypergraph q = catalog::Line3();
+  Rng rng(3);
+  Relation left = workload::UniformRandom(q.edge(0).attrs, n, n / 4 + 1, &rng);
+  Relation right = workload::UniformRandom(q.edge(1).attrs, n, n / 4 + 1, &rng);
+  for (auto _ : state) {
+    Cluster cluster(64);
+    DistRelation dl = DistRelation::InitialPlacement(cluster, left);
+    DistRelation dr = DistRelation::InitialPlacement(cluster, right);
+    uint32_t round = 0;
+    DistRelation result = mpc::SemiJoinMpc(&cluster, dl, dr, &round);
+    benchmark::DoNotOptimize(result.TotalSize());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_SemiJoinMpc)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_HypercubeRouting(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  Hypergraph q = catalog::Triangle();
+  Instance instance = workload::MatchingInstance(q, n);
+  mpc::ShareVector shares = mpc::OptimizeShares(q, 64);
+  for (auto _ : state) {
+    Cluster cluster(64);
+    mpc::HypercubeResult result =
+        mpc::HypercubeJoin(&cluster, q, instance, shares, 0, /*collect=*/false);
+    benchmark::DoNotOptimize(result.max_receive_load);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * 3 * state.iterations());
+}
+BENCHMARK(BM_HypercubeRouting)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_GenericJoinOracle(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  Hypergraph q = catalog::Triangle();
+  Rng rng(4);
+  Instance instance = workload::UniformInstance(q, n, n / 8 + 2, &rng);
+  for (auto _ : state) {
+    Relation result = GenericJoin(q, instance);
+    benchmark::DoNotOptimize(result.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_GenericJoinOracle)->Arg(1 << 9)->Arg(1 << 11);
+
+void BM_AcyclicJoinCount(benchmark::State& state) {
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  Hypergraph q = catalog::Path(5);
+  Rng rng(5);
+  Instance instance = workload::UniformInstance(q, n, n / 4 + 1, &rng);
+  auto tree = JoinTree::Build(q);
+  for (auto _ : state) {
+    uint64_t count = AcyclicJoinCount(q, *tree, instance);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * 5 * state.iterations());
+}
+BENCHMARK(BM_AcyclicJoinCount)->Arg(1 << 12)->Arg(1 << 15);
+
+}  // namespace
+}  // namespace coverpack
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+/// \file bench_util.h
+/// \brief Shared helpers for the per-table / per-figure bench binaries.
+///
+/// Every binary under bench/ regenerates one display of the paper (see
+/// DESIGN.md's per-experiment index) and prints a self-contained text
+/// report: the paper's claim, the measured numbers, and a PASS/DEVIATION
+/// verdict on the shape-level comparison.
+
+#ifndef COVERPACK_BENCH_BENCH_UTIL_H_
+#define COVERPACK_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/math_util.h"
+#include "util/table_printer.h"
+
+namespace coverpack {
+namespace bench {
+
+/// Prints the standard banner for a bench binary.
+inline void Banner(const std::string& id, const std::string& claim) {
+  std::cout << "=============================================================\n";
+  std::cout << "EXPERIMENT " << id << "\n";
+  std::cout << "Paper claim: " << claim << "\n";
+  std::cout << "=============================================================\n";
+}
+
+/// Prints a fitted exponent against its theoretical value and returns
+/// whether they agree within `tolerance` (absolute, on the exponent).
+inline bool ReportExponent(const std::string& label, double fitted, double theory,
+                           double tolerance = 0.15) {
+  bool ok = std::abs(fitted - theory) <= tolerance;
+  std::cout << label << ": fitted exponent " << FormatDouble(fitted, 3) << " vs theory "
+            << FormatDouble(theory, 3) << "  [" << (ok ? "MATCH" : "DEVIATION") << "]\n";
+  return ok;
+}
+
+/// Prints the final verdict line (grep-able by EXPERIMENTS.md tooling).
+inline void Verdict(const std::string& id, bool ok) {
+  std::cout << "VERDICT " << id << ": " << (ok ? "SHAPE-REPRODUCED" : "DEVIATION") << "\n\n";
+}
+
+}  // namespace bench
+}  // namespace coverpack
+
+#endif  // COVERPACK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,54 @@
+#include "core/em_reduction.h"
+
+#include <cmath>
+
+#include "core/load_planner.h"
+#include "lp/covers.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace coverpack {
+
+EmReductionResult ReduceMpcToEm(const Hypergraph& query, uint64_t n, const EmCostModel& em,
+                                uint32_t rounds) {
+  CP_CHECK_GE(rounds, 1u);
+  CP_CHECK_GE(em.memory, em.block);
+  EmReductionResult result;
+
+  uint64_t target = std::max<uint64_t>(1, em.memory / rounds);
+
+  // Binary search the smallest p with L(N, p) <= M / r; L is monotone
+  // nonincreasing in p.
+  uint64_t lo = 1;
+  uint64_t hi = 1;
+  while (PlanLoadUniform(query, n, static_cast<uint32_t>(hi)) > target &&
+         hi < (uint64_t{1} << 40)) {
+    hi *= 2;
+  }
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (PlanLoadUniform(query, n, static_cast<uint32_t>(mid)) <= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.p_star = lo;
+  result.load_at_p_star = PlanLoadUniform(query, n, static_cast<uint32_t>(lo));
+  // One scan of the communicated data per round: r * p° * L words / B.
+  long double words = static_cast<long double>(rounds) *
+                      static_cast<long double>(result.p_star) *
+                      static_cast<long double>(result.load_at_p_star);
+  result.io_count = static_cast<uint64_t>(words / static_cast<long double>(em.block)) + 1;
+  result.closed_form = EmIoClosedForm(query, n, em);
+  return result;
+}
+
+double EmIoClosedForm(const Hypergraph& query, uint64_t n, const EmCostModel& em) {
+  double rho = RhoStar(query).ToDouble();
+  return std::pow(static_cast<double>(n), rho) /
+         (std::pow(static_cast<double>(em.memory), rho - 1.0) *
+          static_cast<double>(em.block));
+}
+
+}  // namespace coverpack

@@ -1,0 +1,47 @@
+/// \file em_reduction.h
+/// \brief The MPC -> external memory (EM) reduction of Section 1.3/1.4.
+///
+/// [19] shows a cost-preserving conversion: an MPC algorithm running in r
+/// rounds with load L(N, p) yields an EM algorithm by simulating
+/// p° = min{ p : L(N, p) <= M / r } virtual servers with an M-word memory,
+/// spending one scan of the communicated data per round:
+/// I/O = O(r * p° * L / B). Plugging in Theorem 5's L = N / p^(1/rho*)
+/// gives p° = (r N / M)^{rho*} and I/O = O(N^{rho*} / (M^{rho*-1} B)) for
+/// every alpha-acyclic join — the paper's claim that its result shadows
+/// the earlier Berge-acyclic-only EM algorithm of [14].
+
+#ifndef COVERPACK_CORE_EM_REDUCTION_H_
+#define COVERPACK_CORE_EM_REDUCTION_H_
+
+#include <cstdint>
+
+#include "query/hypergraph.h"
+
+namespace coverpack {
+
+/// External-memory cost parameters (words).
+struct EmCostModel {
+  uint64_t memory = 1 << 20;  ///< M: words of internal memory
+  uint64_t block = 1 << 10;   ///< B: words per I/O block
+};
+
+/// Result of reducing an MPC run to the EM model.
+struct EmReductionResult {
+  uint64_t p_star = 0;       ///< min p with L(N, p) <= M / rounds
+  uint64_t load_at_p_star = 0;
+  uint64_t io_count = 0;     ///< r * p_star * L(p_star) / B
+  double closed_form = 0.0;  ///< N^{rho*} / (M^{rho*-1} B)
+};
+
+/// Applies the reduction to the Theorem 5 algorithm on an alpha-acyclic
+/// query with uniform relation size n. `rounds` is the constant round
+/// count of the MPC algorithm (query-dependent; measured runs report it).
+EmReductionResult ReduceMpcToEm(const Hypergraph& query, uint64_t n, const EmCostModel& em,
+                                uint32_t rounds);
+
+/// The closed form O(N^{rho*} / (M^{rho*-1} B)) for comparison.
+double EmIoClosedForm(const Hypergraph& query, uint64_t n, const EmCostModel& em);
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_CORE_EM_REDUCTION_H_

@@ -1,0 +1,225 @@
+#include "core/one_round.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "mpc/cluster.h"
+#include "mpc/hypercube.h"
+#include "relation/operators.h"
+#include "relation/oracle.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace coverpack {
+
+namespace {
+
+/// A pending piece of work: a (residual) query, its instance, a server
+/// budget, and the constant bindings to re-attach at emission.
+struct WorkItem {
+  Hypergraph query;
+  Instance instance;
+  uint32_t budget;
+  std::vector<std::pair<AttrId, Value>> bindings;
+  int depth;
+};
+
+/// Finds the most-skewed (attribute, value) pair relative to the hypercube
+/// shares; returns false when the instance is share-level skew-free.
+bool FindWorstSkew(const Hypergraph& query, const Instance& instance,
+                   const mpc::ShareVector& shares, double factor, AttrId* attr,
+                   double* worst_ratio) {
+  *worst_ratio = 0.0;
+  bool found = false;
+  for (AttrId v : query.AllAttrs().ToVector()) {
+    uint32_t share = shares.shares[v];
+    if (share <= 1) continue;  // a single hash bucket cannot be overloaded
+    for (uint32_t e = 0; e < query.num_edges(); ++e) {
+      if (!query.edge(e).attrs.Contains(v)) continue;
+      double threshold =
+          factor * static_cast<double>(instance[e].size()) / static_cast<double>(share);
+      for (const auto& [value, degree] : DegreeHistogram(instance[e], v)) {
+        double ratio = static_cast<double>(degree) / std::max(threshold, 1.0);
+        if (ratio > 1.0 && ratio > *worst_ratio) {
+          *worst_ratio = ratio;
+          *attr = v;
+          found = true;
+        }
+      }
+    }
+  }
+  return found;
+}
+
+/// Heavy values of `attr`: degree above factor * |R| / share in some
+/// relation containing it.
+std::vector<Value> HeavyValues(const Hypergraph& query, const Instance& instance,
+                               const mpc::ShareVector& shares, AttrId attr, double factor) {
+  std::vector<Value> heavy;
+  uint32_t share = std::max<uint32_t>(2, shares.shares[attr]);
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    if (!query.edge(e).attrs.Contains(attr)) continue;
+    double threshold =
+        factor * static_cast<double>(instance[e].size()) / static_cast<double>(share);
+    for (const auto& [value, degree] : DegreeHistogram(instance[e], attr)) {
+      if (static_cast<double>(degree) > threshold) heavy.push_back(value);
+    }
+  }
+  std::sort(heavy.begin(), heavy.end());
+  heavy.erase(std::unique(heavy.begin(), heavy.end()), heavy.end());
+  return heavy;
+}
+
+}  // namespace
+
+namespace {
+
+/// Relation sizes of an instance, for the size-aware share optimizer.
+std::vector<uint64_t> SizesOf(const Instance& instance) {
+  std::vector<uint64_t> sizes;
+  sizes.reserve(instance.num_relations());
+  for (size_t e = 0; e < instance.num_relations(); ++e) sizes.push_back(instance[e].size());
+  return sizes;
+}
+
+}  // namespace
+
+OneRoundResult ComputeOneRoundVanilla(const Hypergraph& query, const Instance& instance,
+                                      uint32_t p, bool collect) {
+  Cluster cluster(p);
+  mpc::ShareVector shares = mpc::OptimizeSharesForSizes(query, SizesOf(instance), p);
+  mpc::HypercubeResult hc = mpc::HypercubeJoin(&cluster, query, instance, shares, 0, collect);
+  OneRoundResult result;
+  result.max_load = hc.max_receive_load;
+  result.output_count = hc.output_count;
+  result.servers_used = shares.grid_size;
+  if (collect) result.results = hc.results.Gather();
+  return result;
+}
+
+OneRoundResult ComputeOneRoundSkewAware(const Hypergraph& query, const Instance& instance,
+                                        uint32_t p, const OneRoundOptions& options) {
+  instance.CheckAgainst(query);
+  OneRoundResult result;
+  result.results = Relation(query.AllAttrs());
+  result.servers_used = 0;
+
+  std::vector<WorkItem> worklist;
+  worklist.push_back(WorkItem{query, instance, std::max<uint32_t>(1, p), {}, 0});
+
+  // Every leaf work item becomes one hypercube; all fire at round 0 on
+  // disjoint server ranges, so the whole computation is one round.
+  uint64_t max_load = 0;
+  uint64_t servers = 0;
+
+  while (!worklist.empty()) {
+    WorkItem item = std::move(worklist.back());
+    worklist.pop_back();
+
+    // Empty relation -> nothing to do for this piece.
+    bool empty = false;
+    for (uint32_t e = 0; e < item.query.num_edges(); ++e) {
+      if (item.instance[e].empty()) empty = true;
+    }
+    if (empty) continue;
+
+    mpc::ShareVector shares =
+        mpc::OptimizeSharesForSizes(item.query, SizesOf(item.instance), item.budget);
+    AttrId skew_attr = 0;
+    double ratio = 0.0;
+    bool skewed = item.depth < 32 && item.budget > 1 &&
+                  FindWorstSkew(item.query, item.instance, shares, options.skew_factor,
+                                &skew_attr, &ratio);
+
+    if (!skewed) {
+      Cluster cluster(std::max<uint32_t>(1, item.budget));
+      mpc::HypercubeResult hc = mpc::HypercubeJoin(&cluster, item.query, item.instance, shares,
+                                                   0, options.collect);
+      max_load = std::max(max_load, hc.max_receive_load);
+      servers += shares.grid_size;
+      if (options.collect) {
+        Relation local = hc.results.Gather();
+        for (const auto& [attr, value] : item.bindings) {
+          local = AttachConstant(local, attr, value);
+        }
+        // The bindings restore every attribute removed along the residual
+        // chain, so the schema is back to the full query's.
+        if (local.attrs() == result.results.attrs()) {
+          for (size_t i = 0; i < local.size(); ++i) result.results.AppendRow(local.row(i));
+          result.output_count += local.size();
+        } else if (!local.empty()) {
+          CP_CHECK(false) << "one-round result schema mismatch";
+        }
+      }
+      continue;
+    }
+
+    // Split dom(skew_attr) into heavy values (residual query each) and the
+    // light remainder (same query, heavy values removed).
+    std::vector<Value> heavy =
+        HeavyValues(item.query, item.instance, shares, skew_attr, options.skew_factor);
+    CP_CHECK(!heavy.empty());
+
+    uint32_t half = std::max<uint32_t>(1, item.budget / 2);
+    // Light remainder keeps half the budget.
+    WorkItem light{item.query, Instance(item.query), half, item.bindings, item.depth + 1};
+    for (uint32_t e = 0; e < item.query.num_edges(); ++e) {
+      const Relation& source = item.instance[e];
+      if (source.attrs().Contains(skew_attr)) {
+        // Remove heavy values.
+        Relation kept(source.attrs());
+        uint32_t col = source.ColumnOf(skew_attr);
+        for (size_t i = 0; i < source.size(); ++i) {
+          auto row = source.row(i);
+          if (!std::binary_search(heavy.begin(), heavy.end(), row[col])) {
+            kept.AppendRow(row);
+          }
+        }
+        light.instance[e] = std::move(kept);
+      } else {
+        light.instance[e] = source;
+      }
+    }
+    worklist.push_back(std::move(light));
+
+    // Heavy values share the other half of the budget evenly.
+    uint32_t per_value =
+        std::max<uint32_t>(1, half / static_cast<uint32_t>(std::max<size_t>(1, heavy.size())));
+    Hypergraph residual = item.query.Residual(AttrSet::Single(skew_attr));
+    for (Value a : heavy) {
+      WorkItem heavy_item{residual, Instance(residual), per_value, item.bindings,
+                          item.depth + 1};
+      bool viable = true;
+      for (uint32_t e = 0; e < residual.num_edges(); ++e) {
+        EdgeId original = *residual.SameNamedEdgeIn(item.query, e);
+        const Relation& source = item.instance[original];
+        if (source.attrs().Contains(skew_attr)) {
+          Relation selected = Select(source, skew_attr, a);
+          if (selected.empty()) {
+            viable = false;
+            break;
+          }
+          heavy_item.instance[e] = DropColumn(selected, skew_attr);
+        } else {
+          heavy_item.instance[e] = source;
+        }
+      }
+      // Relations that consisted only of skew_attr must still be checked.
+      for (uint32_t e = 0; viable && e < item.query.num_edges(); ++e) {
+        if (item.query.edge(e).attrs == AttrSet::Single(skew_attr)) {
+          if (Select(item.instance[e], skew_attr, a).empty()) viable = false;
+        }
+      }
+      if (!viable) continue;
+      heavy_item.bindings.emplace_back(skew_attr, a);
+      worklist.push_back(std::move(heavy_item));
+    }
+  }
+
+  result.max_load = max_load;
+  result.servers_used = servers;
+  result.rounds = 1;
+  return result;
+}
+
+}  // namespace coverpack

@@ -1,0 +1,175 @@
+#include "core/output_balanced.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "mpc/cluster.h"
+#include "mpc/primitives.h"
+#include "query/join_tree.h"
+#include "relation/operators.h"
+#include "relation/oracle.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace coverpack {
+
+namespace {
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  if (a > std::numeric_limits<uint64_t>::max() - b) return std::numeric_limits<uint64_t>::max();
+  return a + b;
+}
+
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > std::numeric_limits<uint64_t>::max() / b) return std::numeric_limits<uint64_t>::max();
+  return a * b;
+}
+
+struct VectorHash {
+  size_t operator()(const std::vector<Value>& v) const { return HashVector(v); }
+};
+
+std::vector<Value> KeyOf(std::span<const Value> row, const std::vector<uint32_t>& cols) {
+  std::vector<Value> key;
+  key.reserve(cols.size());
+  for (uint32_t c : cols) key.push_back(row[c]);
+  return key;
+}
+
+}  // namespace
+
+OutputBalancedResult ComputeOutputBalanced(const Hypergraph& query, const Instance& instance,
+                                           uint32_t p, const OutputBalancedOptions& options) {
+  instance.CheckAgainst(query);
+  auto tree = JoinTree::Build(query);
+  CP_CHECK(tree.has_value()) << "output-balanced Yannakakis requires an acyclic query";
+  CP_CHECK_EQ(tree->Roots().size(), 1u)
+      << "output-balanced baseline handles connected queries only";
+  uint32_t root = tree->Roots()[0];
+
+  Cluster cluster(p);
+  uint32_t round = 0;
+
+  // Phase 1: full semi-join reduction + bottom-up weights, all O(N/p)
+  // primitives (charged as such).
+  Instance reduced = SemiJoinReduce(query, *tree, instance);
+  mpc::ChargeLinear(&cluster, instance.TotalSize(), round);
+  mpc::ChargeLinear(&cluster, instance.TotalSize(), round + 1);
+  round += 2;
+
+  // weight[e][i] = number of extensions of row i into the subtree of e
+  // (computed like AcyclicJoinCount, kept per-row for the root ranking).
+  uint32_t m = query.num_edges();
+  std::vector<std::vector<uint64_t>> weight(m);
+  for (uint32_t e = 0; e < m; ++e) weight[e].assign(reduced[e].size(), 1);
+  std::vector<uint32_t> order;  // bottom-up
+  {
+    std::vector<uint32_t> stack{root};
+    while (!stack.empty()) {
+      uint32_t u = stack.back();
+      stack.pop_back();
+      order.push_back(u);
+      for (uint32_t c : tree->children(u)) stack.push_back(c);
+    }
+    std::reverse(order.begin(), order.end());
+  }
+  for (uint32_t node : order) {
+    for (uint32_t child : tree->children(node)) {
+      AttrSet shared = query.edge(node).attrs.Intersect(query.edge(child).attrs);
+      const Relation& parent_rel = reduced[node];
+      const Relation& child_rel = reduced[child];
+      std::vector<uint32_t> pc;
+      std::vector<uint32_t> cc;
+      for (AttrId a : shared.ToVector()) {
+        pc.push_back(parent_rel.ColumnOf(a));
+        cc.push_back(child_rel.ColumnOf(a));
+      }
+      std::unordered_map<std::vector<Value>, uint64_t, VectorHash> sums;
+      for (size_t i = 0; i < child_rel.size(); ++i) {
+        auto [it, inserted] = sums.try_emplace(KeyOf(child_rel.row(i), cc), 0);
+        it->second = SatAdd(it->second, weight[child][i]);
+      }
+      for (size_t i = 0; i < parent_rel.size(); ++i) {
+        auto it = sums.find(KeyOf(parent_rel.row(i), pc));
+        weight[node][i] = SatMul(weight[node][i], it == sums.end() ? 0 : it->second);
+      }
+    }
+  }
+  mpc::ChargeLinear(&cluster, instance.TotalSize(), round);
+  round += 1;
+
+  OutputBalancedResult result;
+  uint64_t out = 0;
+  for (uint64_t w : weight[root]) out = SatAdd(out, w);
+  result.output_count = out;
+  if (out == 0) {
+    result.rounds = round;
+    result.max_load = cluster.tracker().MaxLoad();
+    result.total_communication = cluster.tracker().TotalCommunication();
+    if (options.collect) result.results = Relation(query.AllAttrs());
+    return result;
+  }
+
+  // Phase 2: assign contiguous output-rank ranges of ~OUT/p to servers;
+  // server k receives the root tuples of its range and, downward, every
+  // child tuple joining them (one semi-join per tree edge). These receives
+  // are charged for real — they are where the OUT/p term materializes.
+  uint64_t per_server = CeilDiv(out, p);
+  std::vector<size_t> slice_begin(p + 1, reduced[root].size());
+  {
+    uint64_t prefix = 0;
+    uint32_t server = 0;
+    slice_begin[0] = 0;
+    for (size_t i = 0; i < reduced[root].size(); ++i) {
+      while (server + 1 <= p - 1 &&
+             prefix >= static_cast<uint64_t>(server + 1) * per_server) {
+        slice_begin[++server] = i;
+      }
+      prefix = SatAdd(prefix, weight[root][i]);
+    }
+    while (server < p) slice_begin[++server] = reduced[root].size();
+  }
+
+  std::vector<uint32_t> top_down(order.rbegin(), order.rend());
+  for (uint32_t k = 0; k < p; ++k) {
+    size_t begin = slice_begin[k];
+    size_t end = slice_begin[k + 1];
+    if (begin >= end) continue;
+    // Root slice.
+    Instance needed(query);
+    Relation root_slice(reduced[root].attrs());
+    for (size_t i = begin; i < end; ++i) root_slice.AppendRow(reduced[root].row(i));
+    cluster.tracker().Add(round, k, root_slice.size());
+    needed[root] = std::move(root_slice);
+    // Downward: each child restricted to tuples joining the parent slice.
+    for (uint32_t node : top_down) {
+      for (uint32_t child : tree->children(node)) {
+        needed[child] = SemiJoin(reduced[child], needed[node]);
+        cluster.tracker().Add(round, k, needed[child].size());
+      }
+    }
+    if (options.collect) {
+      Relation local = GenericJoin(query, needed);
+      if (result.results.attrs() != query.AllAttrs()) {
+        result.results = Relation(query.AllAttrs());
+      }
+      for (size_t i = 0; i < local.size(); ++i) result.results.AppendRow(local.row(i));
+    }
+  }
+  round += 1;
+
+  if (options.collect) {
+    // Boundary root tuples can be shared by adjacent servers; dedup.
+    if (result.results.attrs() == query.AllAttrs()) result.results.Dedup();
+    result.output_count = result.results.size();
+  }
+  result.rounds = round;
+  result.max_load = cluster.tracker().MaxLoad();
+  result.total_communication = cluster.tracker().TotalCommunication();
+  return result;
+}
+
+}  // namespace coverpack

@@ -1,0 +1,37 @@
+/// \file yannakakis.h
+/// \brief Parallel Yannakakis baseline for acyclic joins.
+///
+/// The classical algorithm (Section 1.3): a full semi-join reduction over
+/// the join tree followed by bottom-up pairwise joins, each implemented as
+/// a hash repartition on the shared attributes. Its load is O(N/p + OUT/p)
+/// on friendly instances but degenerates toward OUT/p ~ N^rho*/p when the
+/// output approaches the AGM bound — the gap to N / p^(1/rho*) that the
+/// paper's algorithm closes.
+
+#ifndef COVERPACK_CORE_YANNAKAKIS_H_
+#define COVERPACK_CORE_YANNAKAKIS_H_
+
+#include <cstdint>
+
+#include "query/hypergraph.h"
+#include "relation/instance.h"
+
+namespace coverpack {
+
+/// Outcome of a parallel Yannakakis run.
+struct YannakakisResult {
+  Relation results;        ///< full join results (always materialized:
+                           ///< intermediates drive the communication)
+  uint64_t output_count = 0;
+  uint64_t max_load = 0;
+  uint32_t rounds = 0;
+  uint64_t total_communication = 0;
+};
+
+/// Runs parallel Yannakakis on p servers. The query must be alpha-acyclic.
+YannakakisResult ComputeYannakakis(const Hypergraph& query, const Instance& instance,
+                                   uint32_t p);
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_CORE_YANNAKAKIS_H_

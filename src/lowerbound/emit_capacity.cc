@@ -1,0 +1,184 @@
+#include "lowerbound/emit_capacity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace coverpack {
+namespace lowerbound {
+
+namespace {
+
+/// One candidate Cartesian load shape with its expected yield.
+struct Shape {
+  std::vector<uint64_t> z;  ///< loaded distinct values per attribute
+  double expected;          ///< expected join results from this shape
+};
+
+/// Candidate per-attribute load counts: powers of two up to the domain,
+/// plus the domain size itself.
+std::vector<uint64_t> CandidateCounts(uint64_t domain) {
+  std::vector<uint64_t> counts;
+  for (uint64_t z = 1; z < domain; z *= 2) counts.push_back(z);
+  counts.push_back(domain);
+  return counts;
+}
+
+/// Expected number of tuples of a probabilistic relation inside the box
+/// prod_{v in e} [0, z_v): volume * N / prod dom(v).
+double ExpectedInBox(const Hypergraph& query, const HardInstance& hard, EdgeId e,
+                     const std::vector<uint64_t>& z) {
+  double volume = 1.0;
+  double domain = 1.0;
+  for (AttrId v : query.edge(e).attrs.ToVector()) {
+    volume *= static_cast<double>(z[v]);
+    domain *= static_cast<double>(hard.domain_sizes[v]);
+  }
+  return volume * static_cast<double>(hard.n) / domain;
+}
+
+/// Exact number of tuples of relation e inside the box, capped at `load`.
+uint64_t ExactInBox(const Hypergraph& query, const HardInstance& hard, EdgeId e,
+                    const std::vector<uint64_t>& z, uint64_t load) {
+  const Relation& relation = hard.instance[e];
+  std::vector<AttrId> attrs = query.edge(e).attrs.ToVector();
+  uint64_t count = 0;
+  for (size_t i = 0; i < relation.size(); ++i) {
+    auto row = relation.row(i);
+    bool inside = true;
+    for (size_t c = 0; c < attrs.size(); ++c) {
+      if (row[c] >= z[attrs[c]]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside && ++count >= load) break;
+  }
+  return std::min(count, load);
+}
+
+}  // namespace
+
+EmitCapacityResult SearchEmitCapacity(const Hypergraph& query, const HardInstance& hard,
+                                      const PackingProvability& witness, uint64_t load,
+                                      size_t exact_top_k) {
+  CP_CHECK(witness.provable);
+  EmitCapacityResult result;
+  result.predicted_cap =
+      2.0 * std::pow(static_cast<double>(load), witness.tau_star.ToDouble()) *
+      std::pow(static_cast<double>(hard.n),
+               witness.rho_star.ToDouble() - witness.tau_star.ToDouble());
+
+  EdgeSet probabilistic;
+  for (EdgeId e : witness.probabilistic) probabilistic.Insert(e);
+  // Attributes covered by some probabilistic edge (their combinations are
+  // filtered by membership); the rest contribute their full product.
+  AttrSet prob_attrs;
+  for (EdgeId e : probabilistic.ToVector()) {
+    prob_attrs = prob_attrs.Union(query.edge(e).attrs);
+  }
+
+  std::vector<AttrId> attrs = query.AllAttrs().ToVector();
+  std::vector<std::vector<uint64_t>> candidates;
+  candidates.reserve(attrs.size());
+  for (AttrId v : attrs) candidates.push_back(CandidateCounts(hard.domain_sizes[v]));
+
+  // Deterministic load constraints: prod_{v in e} z_v <= load.
+  std::vector<AttrSet> deterministic_edges;
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    if (!probabilistic.Contains(e)) deterministic_edges.push_back(query.edge(e).attrs);
+  }
+
+  std::vector<Shape> top;
+  std::vector<uint64_t> z(query.num_attrs(), 1);
+
+  // Depth-first enumeration with per-edge product pruning.
+  auto feasible_so_far = [&](size_t bound_upto) {
+    AttrSet bound;
+    for (size_t i = 0; i < bound_upto; ++i) bound.Insert(attrs[i]);
+    for (AttrSet edge : deterministic_edges) {
+      double product = 1.0;
+      for (AttrId v : edge.Intersect(bound).ToVector()) {
+        product *= static_cast<double>(z[v]);
+      }
+      if (product > static_cast<double>(load)) return false;
+    }
+    return true;
+  };
+
+  std::function<void(size_t)> enumerate = [&](size_t depth) {
+    if (!feasible_so_far(depth)) return;
+    if (depth == attrs.size()) {
+      ++result.shapes_searched;
+      double expected = 1.0;
+      for (AttrId v : attrs) {
+        if (!prob_attrs.Contains(v)) expected *= static_cast<double>(z[v]);
+      }
+      for (EdgeId e : probabilistic.ToVector()) {
+        expected *= std::min(static_cast<double>(load), ExpectedInBox(query, hard, e, z));
+      }
+      // Probabilistic edges are vertex-disjoint, so combinations over their
+      // attributes are exactly their in-box tuples (multiplied above);
+      // every other attribute contributes its loaded-value count.
+      result.expected_best = std::max(result.expected_best, expected);
+      top.push_back(Shape{z, expected});
+      std::push_heap(top.begin(), top.end(),
+                     [](const Shape& a, const Shape& b) { return a.expected > b.expected; });
+      if (top.size() > exact_top_k) {
+        std::pop_heap(top.begin(), top.end(),
+                      [](const Shape& a, const Shape& b) { return a.expected > b.expected; });
+        top.pop_back();
+      }
+      return;
+    }
+    for (uint64_t candidate : candidates[depth]) {
+      z[attrs[depth]] = candidate;
+      enumerate(depth + 1);
+    }
+    z[attrs[depth]] = 1;
+  };
+  enumerate(0);
+
+  // Exact evaluation of the best shapes.
+  for (const Shape& shape : top) {
+    ++result.shapes_evaluated_exactly;
+    uint64_t exact = 1;
+    bool overflow = false;
+    for (AttrId v : attrs) {
+      if (!prob_attrs.Contains(v)) {
+        if (shape.z[v] != 0 && exact > UINT64_MAX / shape.z[v]) {
+          overflow = true;
+          break;
+        }
+        exact *= shape.z[v];
+      }
+    }
+    if (overflow) continue;
+    for (EdgeId e : probabilistic.ToVector()) {
+      uint64_t in_box = ExactInBox(query, hard, e, shape.z, load);
+      if (in_box != 0 && exact > UINT64_MAX / in_box) {
+        overflow = true;
+        break;
+      }
+      exact *= in_box;
+    }
+    if (overflow) continue;
+    if (exact > result.measured) {
+      result.measured = exact;
+      result.best_shape = shape.z;
+    }
+  }
+  return result;
+}
+
+double CountingArgumentLoadBound(uint64_t n, uint32_t p, const Rational& tau_star,
+                                 double capacity_constant) {
+  double tau = tau_star.ToDouble();
+  return static_cast<double>(n) /
+         std::pow(capacity_constant * static_cast<double>(p), 1.0 / tau);
+}
+
+}  // namespace lowerbound
+}  // namespace coverpack

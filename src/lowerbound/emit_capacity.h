@@ -1,0 +1,56 @@
+/// \file emit_capacity.h
+/// \brief J(L): how many join results one server can emit from L tuples.
+///
+/// The heart of the Theorem 6/7 lower bounds: on the hard instances, a
+/// server that loads at most L tuples per relation can produce at most
+/// ~2 L^{tau*} N^{rho* - tau*} results, no matter which tuples it picks
+/// (Lemma 5.1 reduces the choice to Cartesian-shaped loads; Step 2 applies
+/// Chernoff over all Cartesian shapes). This module searches the Cartesian
+/// load space: it enumerates per-attribute loaded-value counts z_v (powers
+/// of two, plus the full domain), prunes shapes whose deterministic
+/// relations exceed L, scores shapes by their expected yield, and exactly
+/// counts the probabilistic relations' contribution for the top shapes.
+/// The counting argument p * J(L) >= OUT then yields L >= N / p^(1/tau*).
+
+#ifndef COVERPACK_LOWERBOUND_EMIT_CAPACITY_H_
+#define COVERPACK_LOWERBOUND_EMIT_CAPACITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lowerbound/hard_instance.h"
+#include "lp/packing_provable.h"
+#include "query/hypergraph.h"
+#include "util/rational.h"
+
+namespace coverpack {
+namespace lowerbound {
+
+/// Result of the emit-capacity search.
+struct EmitCapacityResult {
+  uint64_t measured = 0;        ///< max exact J over the evaluated shapes
+  double expected_best = 0.0;   ///< max expected J over the whole grid
+  double predicted_cap = 0.0;   ///< 2 * L^{tau*} * N^{rho* - tau*}
+  std::vector<uint64_t> best_shape;  ///< z_v of the best evaluated shape
+  uint64_t shapes_searched = 0;
+  uint64_t shapes_evaluated_exactly = 0;
+};
+
+/// Searches Cartesian load shapes for the maximum number of join results a
+/// single server can emit from at most `load` tuples per relation of the
+/// hard instance. Applies to any edge-packing-provable degree-two join
+/// (the box join included).
+EmitCapacityResult SearchEmitCapacity(const Hypergraph& query, const HardInstance& hard,
+                                      const PackingProvability& witness, uint64_t load,
+                                      size_t exact_top_k = 200);
+
+/// The counting-argument bound: with per-server capacity cap(L) =
+/// c * L^{tau*} * N^{rho* - tau*} and OUT = N^{rho*} results to emit,
+/// p servers force L >= N / (c * p)^(1/tau*). Returns that load bound.
+double CountingArgumentLoadBound(uint64_t n, uint32_t p, const Rational& tau_star,
+                                 double capacity_constant = 2.0);
+
+}  // namespace lowerbound
+}  // namespace coverpack
+
+#endif  // COVERPACK_LOWERBOUND_EMIT_CAPACITY_H_

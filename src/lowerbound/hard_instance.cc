@@ -1,0 +1,214 @@
+#include "lowerbound/hard_instance.h"
+
+#include <cmath>
+
+#include "lp/covers.h"
+#include "query/catalog.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace coverpack {
+namespace lowerbound {
+
+namespace {
+
+/// Samples each of `total` combinations independently with probability
+/// `prob`, visiting only the successes via geometric gap skipping.
+/// `emit(index)` is called for every sampled combination index.
+template <typename Emit>
+void BernoulliProcess(uint64_t total, double prob, Rng* rng, Emit emit) {
+  if (prob <= 0.0 || total == 0) return;
+  if (prob >= 1.0) {
+    for (uint64_t i = 0; i < total; ++i) emit(i);
+    return;
+  }
+  double log_one_minus_p = std::log1p(-prob);
+  uint64_t index = 0;
+  for (;;) {
+    double u = rng->NextDouble();
+    if (u <= 0.0) u = 1e-18;
+    uint64_t gap = static_cast<uint64_t>(std::floor(std::log(u) / log_one_minus_p));
+    if (gap > total || index > total - 1 - gap) break;
+    index += gap;
+    emit(index);
+    if (index == total - 1) break;
+    ++index;
+  }
+}
+
+/// Decodes a mixed-radix combination index into attribute values and
+/// appends it to the relation (row order follows ascending AttrId).
+void AppendCombination(Relation* relation, uint64_t index, const std::vector<uint64_t>& dims) {
+  std::vector<Value> row(dims.size());
+  uint64_t rest = index;
+  for (size_t c = 0; c < dims.size(); ++c) {
+    row[c] = rest % dims[c];
+    rest /= dims[c];
+  }
+  relation->AppendRow(std::span<const Value>(row));
+}
+
+}  // namespace
+
+PackingProvability BoxJoinWitness(const Hypergraph& box) {
+  VertexWeighting x;
+  x.weights.assign(box.num_attrs(), Rational(0));
+  for (const char* name : {"A", "B", "C"}) {
+    auto attr = box.FindAttribute(name);
+    CP_CHECK(attr.has_value());
+    x.weights[*attr] = Rational(1, 3);
+  }
+  for (const char* name : {"D", "E", "F"}) {
+    auto attr = box.FindAttribute(name);
+    CP_CHECK(attr.has_value());
+    x.weights[*attr] = Rational(2, 3);
+  }
+  x.total = Rational(3);
+  PackingProvability witness = AnalyzeWithCover(box, x);
+  CP_CHECK(witness.provable) << witness.reason;
+  return witness;
+}
+
+PackingProvability UniformHalfWitness(const Hypergraph& query) {
+  VertexWeighting x;
+  x.weights.assign(query.num_attrs(), Rational(0));
+  Rational total(0);
+  for (AttrId v : query.AllAttrs().ToVector()) {
+    x.weights[v] = Rational(1, 2);
+    total += Rational(1, 2);
+  }
+  x.total = total;
+  PackingProvability witness = AnalyzeWithCover(query, x);
+  CP_CHECK(witness.provable) << witness.reason;
+  return witness;
+}
+
+HardInstance BoxJoinHardInstance(const Hypergraph& query, uint64_t n, uint64_t seed) {
+  // Verify this is the box join shape.
+  CP_CHECK_EQ(query.num_edges(), 5u);
+  CP_CHECK(query.FindEdge("R1").has_value() && query.FindEdge("R2").has_value());
+
+  uint64_t d1 = FloorNthRoot(n, 3);  // |dom(A)| = |dom(B)| = |dom(C)|
+  CP_CHECK_GE(d1, 2u) << "n too small for the box-join construction";
+  uint64_t d2 = d1 * d1;             // |dom(D)| = |dom(E)| = |dom(F)|
+  uint64_t effective_n = d1 * d1 * d1;
+
+  HardInstance hard;
+  hard.n = effective_n;
+  hard.domain_sizes.assign(query.num_attrs(), 1);
+  for (const char* name : {"A", "B", "C"}) {
+    hard.domain_sizes[*query.FindAttribute(name)] = d1;
+  }
+  for (const char* name : {"D", "E", "F"}) {
+    hard.domain_sizes[*query.FindAttribute(name)] = d2;
+  }
+
+  hard.instance = Instance(query);
+  Rng rng(seed);
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    const Edge& edge = query.edge(e);
+    std::vector<uint64_t> dims;
+    uint64_t total = 1;
+    for (AttrId v : edge.attrs.ToVector()) {
+      dims.push_back(hard.domain_sizes[v]);
+      total *= hard.domain_sizes[v];
+    }
+    if (edge.name == "R2") {
+      // Probabilistic: each (d, e, f) with probability 1/N.
+      double prob = 1.0 / static_cast<double>(effective_n);
+      Relation* relation = &hard.instance[e];
+      BernoulliProcess(total, prob, &rng,
+                       [&](uint64_t index) { AppendCombination(relation, index, dims); });
+    } else {
+      CP_CHECK_EQ(total, effective_n) << "deterministic relation size drifted";
+      hard.instance[e] = workload::Cartesian(edge.attrs, dims);
+    }
+  }
+  hard.expected_output = effective_n * effective_n;  // N^{rho*} with rho* = 2
+  return hard;
+}
+
+HardInstance DegreeTwoHardInstance(const Hypergraph& query, const PackingProvability& witness,
+                                   uint64_t n, uint64_t seed) {
+  CP_CHECK(witness.provable) << "Theorem 7 requires an edge-packing-provable join";
+  HardInstance hard;
+  hard.n = n;
+  hard.domain_sizes.assign(query.num_attrs(), 1);
+  long double log_n = std::log(static_cast<long double>(n));
+  for (AttrId v : query.AllAttrs().ToVector()) {
+    long double exponent = static_cast<long double>(witness.cover.weights[v].ToDouble());
+    uint64_t size = static_cast<uint64_t>(std::llroundl(std::exp(exponent * log_n)));
+    hard.domain_sizes[v] = std::max<uint64_t>(1, size);
+  }
+
+  EdgeSet probabilistic;
+  for (EdgeId e : witness.probabilistic) probabilistic.Insert(e);
+
+  hard.instance = Instance(query);
+  Rng rng(seed);
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    const Edge& edge = query.edge(e);
+    std::vector<uint64_t> dims;
+    long double total = 1.0L;
+    uint64_t total_int = 1;
+    for (AttrId v : edge.attrs.ToVector()) {
+      dims.push_back(hard.domain_sizes[v]);
+      total *= static_cast<long double>(hard.domain_sizes[v]);
+      total_int *= hard.domain_sizes[v];
+    }
+    if (probabilistic.Contains(e)) {
+      // Each combination with probability N / prod dom = N^{1 - sum x_v}.
+      double prob = static_cast<double>(static_cast<long double>(n) / total);
+      Relation* relation = &hard.instance[e];
+      BernoulliProcess(total_int, prob, &rng,
+                       [&](uint64_t index) { AppendCombination(relation, index, dims); });
+    } else {
+      // Deterministic: a Cartesian product of ~N tuples (sum x_v = 1 up to
+      // the integer rounding of the domain sizes).
+      hard.instance[e] = workload::Cartesian(edge.attrs, dims);
+    }
+  }
+
+  long double out = std::exp(static_cast<long double>(witness.rho_star.ToDouble()) * log_n);
+  hard.expected_output = static_cast<uint64_t>(std::min<long double>(out, 1e18L));
+  return hard;
+}
+
+HardInstance Example34Instance(const Hypergraph& figure4_query, uint64_t n) {
+  const Hypergraph& q = figure4_query;
+  CP_CHECK_EQ(q.num_edges(), 8u);
+  HardInstance hard;
+  hard.n = n;
+  hard.domain_sizes.assign(q.num_attrs(), 1);
+  // N distinct values for D, E, F, G, H, J, K; a single value for A, B, C, I.
+  for (const char* name : {"D", "E", "F", "G", "H", "J", "K"}) {
+    auto attr = q.FindAttribute(name);
+    CP_CHECK(attr.has_value()) << "Figure 4 query missing attribute " << name;
+    hard.domain_sizes[*attr] = n;
+  }
+
+  hard.instance = Instance(q);
+  AttrId h = *q.FindAttribute("H");
+  AttrId j = *q.FindAttribute("J");
+  for (uint32_t e = 0; e < q.num_edges(); ++e) {
+    const Edge& edge = q.edge(e);
+    if (edge.name == "e4") {
+      // One-to-one over (H, J); other attributes pinned to their single value.
+      hard.instance[e] = workload::OneToOne(edge.attrs, h, j, n);
+      continue;
+    }
+    std::vector<uint64_t> dims;
+    for (AttrId v : edge.attrs.ToVector()) dims.push_back(hard.domain_sizes[v]);
+    hard.instance[e] = workload::Cartesian(edge.attrs, dims);
+    CP_CHECK_EQ(hard.instance[e].size(), n) << "relation " << edge.name << " size drifted";
+  }
+  // Free attributes D, E, F, H(=J), K, G give N^6 results (the AGM bound).
+  long double out = std::pow(static_cast<long double>(n), 6.0L);
+  hard.expected_output = static_cast<uint64_t>(std::min<long double>(out, 1e18L));
+  return hard;
+}
+
+}  // namespace lowerbound
+}  // namespace coverpack

@@ -1,0 +1,69 @@
+/// \file hard_instance.h
+/// \brief The paper's hard-instance constructions (Section 5, Example 3.4).
+///
+/// Theorem 6's box-join instance: dom(A)=dom(B)=dom(C)=N^(1/3),
+/// dom(D)=dom(E)=dom(F)=N^(2/3); R1(A,B,C), R3(A,D), R4(B,E), R5(C,F) are
+/// full Cartesian products of ~N tuples, and R2(D,E,F) samples each
+/// combination with probability 1/N. The join is R1 x R2 (output ~N^2, the
+/// AGM bound), yet no server can emit more than ~2L^3/N results from L
+/// loaded tuples.
+///
+/// Theorem 7 generalizes this to any edge-packing-provable degree-two join
+/// via its witness vertex cover x: dom(v) has N^{x_v} values, deterministic
+/// edges (sum x_v = 1) are Cartesian products, probabilistic edges
+/// (sum x_v > 1) are sampled with probability N^{1 - sum x_v}.
+///
+/// Example 3.4's instance separates the conservative run from the optimal
+/// run on the Figure 4 query.
+
+#ifndef COVERPACK_LOWERBOUND_HARD_INSTANCE_H_
+#define COVERPACK_LOWERBOUND_HARD_INSTANCE_H_
+
+#include <cstdint>
+
+#include "lp/packing_provable.h"
+#include "query/hypergraph.h"
+#include "relation/instance.h"
+
+namespace coverpack {
+namespace lowerbound {
+
+/// Per-attribute domain sizes of a hard instance (indexed by AttrId),
+/// returned alongside the instance so the emit-capacity search knows the
+/// search space.
+struct HardInstance {
+  Instance instance;
+  std::vector<uint64_t> domain_sizes;
+  uint64_t n = 0;            ///< the paper's N parameter
+  uint64_t expected_output = 0;  ///< N^{rho*} (up to sampling noise)
+};
+
+/// The canonical Theorem 6 witness for the box join: x_A = x_B = x_C = 1/3,
+/// x_D = x_E = x_F = 2/3 (Section 5.2). The automatic witness search can
+/// return other optimal covers; this one reproduces the paper's exact
+/// construction.
+PackingProvability BoxJoinWitness(const Hypergraph& box);
+
+/// The uniform witness x_v = 1/2 for degree-two joins where every edge is
+/// binary and it is optimal (even cycles). Aborts if invalid.
+PackingProvability UniformHalfWitness(const Hypergraph& query);
+
+/// Theorem 6's probabilistic box-join instance. `query` must be
+/// catalog::BoxJoin() (checked). n should be a perfect cube for exact
+/// domain sizes; otherwise domains use floor(n^(1/3)) / floor(n^(2/3)).
+HardInstance BoxJoinHardInstance(const Hypergraph& query, uint64_t n, uint64_t seed);
+
+/// Theorem 7's construction for any edge-packing-provable degree-two join,
+/// driven by the witness cover. Aborts if `witness.provable` is false.
+HardInstance DegreeTwoHardInstance(const Hypergraph& query, const PackingProvability& witness,
+                                   uint64_t n, uint64_t seed);
+
+/// Example 3.4's instance for the Figure 4 query: one value for A, B, C;
+/// n values for the remaining attributes; e4 is a one-to-one mapping over
+/// (H, J); every other relation is a Cartesian product with ~n tuples.
+HardInstance Example34Instance(const Hypergraph& figure4_query, uint64_t n);
+
+}  // namespace lowerbound
+}  // namespace coverpack
+
+#endif  // COVERPACK_LOWERBOUND_HARD_INSTANCE_H_

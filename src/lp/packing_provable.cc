@@ -1,0 +1,152 @@
+#include "lp/packing_provable.h"
+
+#include "lp/simplex.h"
+#include "query/properties.h"
+#include "util/logging.h"
+
+namespace coverpack {
+
+namespace {
+
+/// The constant-small cap: x_v <= 1 - kEpsilon (Definition 5.4 requires
+/// max_v x_v <= 1 - epsilon for some constant epsilon; we fix 1/8).
+const Rational kSmallCap(7, 8);
+
+/// Sum of x over the attributes of edge e.
+Rational EdgeSum(const Hypergraph& query, const std::vector<Rational>& x, EdgeId e) {
+  Rational sum(0);
+  for (AttrId v : query.edge(e).attrs.ToVector()) sum += x[v];
+  return sum;
+}
+
+/// Neighbors Gamma(e) = edges sharing a vertex with e (excluding e).
+EdgeSet Neighbors(const Hypergraph& query, EdgeId e) {
+  EdgeSet neighbors;
+  for (uint32_t f = 0; f < query.num_edges(); ++f) {
+    if (f != e && query.edge(f).attrs.Intersects(query.edge(e).attrs)) {
+      neighbors.Insert(f);
+    }
+  }
+  return neighbors;
+}
+
+/// Checks the structural preconditions (1) and (2) of Definition 5.4.
+bool CheckStructure(const Hypergraph& query, std::string* reason) {
+  if (!query.IsReduced()) {
+    *reason = "query is not reduced";
+    return false;
+  }
+  if (!IsDegreeTwo(query)) {
+    *reason = "query is not degree-two";
+    return false;
+  }
+  if (!DegreeTwoHasNoOddCycle(query)) {
+    *reason = "query has an odd-length cycle";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PackingProvability AnalyzeWithCover(const Hypergraph& query, const VertexWeighting& x) {
+  PackingProvability result;
+  result.rho_star = RhoStar(query);
+  result.tau_star = TauStar(query);
+
+  if (!CheckStructure(query, &result.reason)) return result;
+
+  // x must be a valid vertex cover.
+  CP_CHECK_EQ(x.weights.size(), query.num_attrs());
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    if (EdgeSum(query, x.weights, e) < Rational(1)) {
+      result.reason = "witness is not a vertex cover";
+      return result;
+    }
+  }
+  // x must be optimal: by duality its total equals tau*.
+  Rational total(0);
+  for (AttrId v : query.AllAttrs().ToVector()) total += x.weights[v];
+  if (total != result.tau_star) {
+    result.reason = "witness cover is not optimal (total " + total.ToString() +
+                    " vs tau* " + result.tau_star.ToString() + ")";
+    return result;
+  }
+  // Constant-small.
+  for (AttrId v : query.AllAttrs().ToVector()) {
+    if (x.weights[v] > kSmallCap) {
+      result.reason = "witness cover is not constant-small";
+      return result;
+    }
+  }
+  // Every edge has at most one probabilistic neighbor.
+  std::vector<EdgeId> probabilistic;
+  EdgeSet prob_set;
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    if (EdgeSum(query, x.weights, e) > Rational(1)) {
+      probabilistic.push_back(e);
+      prob_set.Insert(e);
+    }
+  }
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    if (Neighbors(query, e).Intersect(prob_set).size() > 1) {
+      result.reason = "edge " + query.edge(e).name + " has more than one probabilistic neighbor";
+      return result;
+    }
+  }
+
+  result.provable = true;
+  result.cover = VertexWeighting{total, x.weights};
+  result.probabilistic = probabilistic;
+  return result;
+}
+
+PackingProvability AnalyzePackingProvable(const Hypergraph& query) {
+  PackingProvability failure;
+  failure.rho_star = RhoStar(query);
+  failure.tau_star = TauStar(query);
+  if (!CheckStructure(query, &failure.reason)) return failure;
+
+  // Attempt 1: the plain LP optimum.
+  {
+    VertexWeighting x = FractionalVertexCover(query);
+    PackingProvability attempt = AnalyzeWithCover(query, x);
+    if (attempt.provable) return attempt;
+  }
+
+  // Attempt 2: for each candidate probabilistic set P, force equality on
+  // all other edges and the constant-small cap, and check optimality.
+  uint32_t num_attrs = query.num_attrs();
+  for (SubsetIterator it(query.AllEdges()); !it.Done(); it.Next()) {
+    EdgeSet p = it.Current();
+    LinearProgram lp(num_attrs);
+    for (uint32_t e = 0; e < query.num_edges(); ++e) {
+      std::vector<Rational> row(num_attrs, Rational(0));
+      for (AttrId v : query.edge(e).attrs.ToVector()) row[v] = Rational(1);
+      if (p.Contains(e)) {
+        lp.AddGeq(row, Rational(1));
+      } else {
+        lp.AddEq(row, Rational(1));
+      }
+    }
+    for (AttrId v : query.AllAttrs().ToVector()) {
+      std::vector<Rational> row(num_attrs, Rational(0));
+      row[v] = Rational(1);
+      lp.AddLeq(row, kSmallCap);
+    }
+    std::vector<Rational> objective(num_attrs, Rational(0));
+    for (AttrId v : query.AllAttrs().ToVector()) objective[v] = Rational(1);
+    lp.SetObjective(objective);
+    LpResult solved = lp.Minimize();
+    if (solved.status != LpStatus::kOptimal) continue;
+    if (solved.objective != failure.tau_star) continue;  // not an optimal cover
+    VertexWeighting x{solved.objective, solved.solution};
+    PackingProvability attempt = AnalyzeWithCover(query, x);
+    if (attempt.provable) return attempt;
+  }
+
+  failure.reason = "no optimal constant-small witness cover found";
+  return failure;
+}
+
+}  // namespace coverpack

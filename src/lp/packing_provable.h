@@ -1,0 +1,46 @@
+/// \file packing_provable.h
+/// \brief Definition 5.4: edge-packing-provable degree-two joins.
+///
+/// The Theorem 7 lower bound applies to degree-two joins that (1) are
+/// reduced, (2) have no odd cycle, and (3) admit an optimal fractional
+/// *constant-small* vertex covering x such that every edge has at most one
+/// "probabilistic" neighbor (a neighbor e with sum_{v in e} x_v > 1).
+/// This module decides the predicate and produces the witness cover that
+/// the hard-instance generator of Theorem 7 is built from.
+
+#ifndef COVERPACK_LP_PACKING_PROVABLE_H_
+#define COVERPACK_LP_PACKING_PROVABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "lp/covers.h"
+#include "query/hypergraph.h"
+
+namespace coverpack {
+
+/// Outcome of the Definition 5.4 analysis.
+struct PackingProvability {
+  bool provable = false;
+  std::string reason;  ///< Which condition failed (diagnostic), empty if provable.
+
+  /// Witness data (valid when provable):
+  VertexWeighting cover;                ///< optimal constant-small vertex cover x
+  std::vector<EdgeId> probabilistic;    ///< E' = {e : sum_{v in e} x_v > 1}
+  Rational tau_star;                    ///< tau* (== cover.total by duality)
+  Rational rho_star;                    ///< rho*
+};
+
+/// Checks a caller-supplied vertex cover x against all Definition 5.4
+/// conditions (structure conditions on the query are re-checked too).
+PackingProvability AnalyzeWithCover(const Hypergraph& query, const VertexWeighting& x);
+
+/// Searches for a witness cover: first the plain vertex-cover LP optimum,
+/// then (if needed) re-solves with each subset of edges designated as the
+/// probabilistic set E' (equality constraints on the rest plus the
+/// constant-small cap). Exponential in query size, which is constant.
+PackingProvability AnalyzePackingProvable(const Hypergraph& query);
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_LP_PACKING_PROVABLE_H_

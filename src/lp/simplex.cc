@@ -1,0 +1,307 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace coverpack {
+
+namespace {
+
+/// Slack-form dictionary for the simplex method (CLRS-style), over exact
+/// rationals with Bland's anti-cycling rule.
+///
+/// Maintains: x_{basic[i]} = b[i] - sum_j a[i][j] * x_{nonbasic[j]}
+///            z = v + sum_j c[j] * x_{nonbasic[j]}
+class Dictionary {
+ public:
+  Dictionary(const std::vector<std::vector<Rational>>& rows, const std::vector<Rational>& bounds,
+             const std::vector<Rational>& objective, size_t num_vars)
+      : n_(num_vars), m_(rows.size()), a_(rows), b_(bounds), c_(objective), v_(0) {
+    basic_.resize(m_);
+    nonbasic_.resize(n_);
+    for (size_t j = 0; j < n_; ++j) nonbasic_[j] = j;
+    for (size_t i = 0; i < m_; ++i) basic_[i] = n_ + i;
+  }
+
+  /// Adds the phase-one auxiliary variable x0 (id = n_ + m_) with
+  /// coefficient -1 in every row and objective -x0.
+  void AddAuxiliary() {
+    for (auto& row : a_) row.push_back(Rational(-1));
+    nonbasic_.push_back(n_ + m_);
+    c_.assign(n_ + 1, Rational(0));
+    c_.back() = Rational(-1);
+    v_ = Rational(0);
+    ++n_;
+    has_aux_ = true;
+  }
+
+  /// One pivot making the auxiliary variable basic in the most-negative row,
+  /// which restores feasibility for phase one.
+  void InitialAuxPivot() {
+    size_t worst = 0;
+    for (size_t i = 1; i < m_; ++i) {
+      if (b_[i] < b_[worst]) worst = i;
+    }
+    Pivot(worst, n_ - 1);
+  }
+
+  /// Runs simplex to optimality. Returns false if unbounded.
+  bool Optimize() {
+    for (;;) {
+      // Bland: entering variable = smallest id with positive reduced cost.
+      size_t enter_col = n_;
+      size_t enter_id = SIZE_MAX;
+      for (size_t j = 0; j < n_; ++j) {
+        if (c_[j].is_positive() && nonbasic_[j] < enter_id) {
+          enter_id = nonbasic_[j];
+          enter_col = j;
+        }
+      }
+      if (enter_col == n_) return true;  // optimal
+
+      // Leaving variable: tightest ratio, ties broken by smallest id.
+      size_t leave_row = m_;
+      Rational best_ratio;
+      for (size_t i = 0; i < m_; ++i) {
+        if (!a_[i][enter_col].is_positive()) continue;
+        Rational ratio = b_[i] / a_[i][enter_col];
+        if (leave_row == m_ || ratio < best_ratio ||
+            (ratio == best_ratio && basic_[i] < basic_[leave_row])) {
+          best_ratio = ratio;
+          leave_row = i;
+        }
+      }
+      if (leave_row == m_) return false;  // unbounded
+      Pivot(leave_row, enter_col);
+    }
+  }
+
+  /// True iff all basic values are nonnegative.
+  bool Feasible() const {
+    for (const auto& bound : b_) {
+      if (bound.is_negative()) return false;
+    }
+    return true;
+  }
+
+  Rational objective_value() const { return v_; }
+
+  /// If the auxiliary variable is basic (degenerately, at value 0), pivots
+  /// it out on any row coefficient that is nonzero.
+  void ForceAuxNonbasic() {
+    size_t aux_id = OriginalAuxId();
+    for (size_t i = 0; i < m_; ++i) {
+      if (basic_[i] != aux_id) continue;
+      CP_CHECK(b_[i].is_zero()) << "auxiliary basic at nonzero value";
+      for (size_t j = 0; j < n_; ++j) {
+        if (!a_[i][j].is_zero()) {
+          Pivot(i, j);
+          return;
+        }
+      }
+      CP_CHECK(false) << "auxiliary row has no pivot";
+    }
+  }
+
+  /// Removes the auxiliary column and installs the original objective,
+  /// substituting basic variables by their row expressions.
+  void RestoreObjective(const std::vector<Rational>& original_objective) {
+    size_t aux_id = OriginalAuxId();
+    // Drop the auxiliary column.
+    size_t aux_col = SIZE_MAX;
+    for (size_t j = 0; j < n_; ++j) {
+      if (nonbasic_[j] == aux_id) aux_col = j;
+    }
+    CP_CHECK(aux_col != SIZE_MAX) << "auxiliary not nonbasic after phase one";
+    for (auto& row : a_) row.erase(row.begin() + static_cast<long>(aux_col));
+    nonbasic_.erase(nonbasic_.begin() + static_cast<long>(aux_col));
+    --n_;
+    has_aux_ = false;
+
+    // Rebuild objective z = sum_k orig[k] * x_k over current dictionary.
+    c_.assign(n_, Rational(0));
+    v_ = Rational(0);
+    for (size_t k = 0; k < original_objective.size(); ++k) {
+      if (original_objective[k].is_zero()) continue;
+      // Is variable k nonbasic?
+      bool substituted = false;
+      for (size_t j = 0; j < n_; ++j) {
+        if (nonbasic_[j] == k) {
+          c_[j] += original_objective[k];
+          substituted = true;
+          break;
+        }
+      }
+      if (substituted) continue;
+      // Variable k is basic: substitute its row expression.
+      for (size_t i = 0; i < m_; ++i) {
+        if (basic_[i] == k) {
+          v_ += original_objective[k] * b_[i];
+          for (size_t j = 0; j < n_; ++j) {
+            c_[j] -= original_objective[k] * a_[i][j];
+          }
+          substituted = true;
+          break;
+        }
+      }
+      CP_CHECK(substituted) << "variable neither basic nor nonbasic";
+    }
+  }
+
+  /// Extracts the value of each original variable.
+  std::vector<Rational> Solution(size_t num_original_vars) const {
+    std::vector<Rational> x(num_original_vars, Rational(0));
+    for (size_t i = 0; i < m_; ++i) {
+      if (basic_[i] < num_original_vars) x[basic_[i]] = b_[i];
+    }
+    return x;
+  }
+
+ private:
+  size_t OriginalAuxId() const { return kAuxBase; }
+
+  void Pivot(size_t r, size_t c) {
+    Rational pivot = a_[r][c];
+    CP_CHECK(!pivot.is_zero());
+    Rational inv = pivot.Inverse();
+
+    // Rewrite the pivot row so the entering variable is expressed in terms
+    // of the leaving variable and the other nonbasics.
+    b_[r] *= inv;
+    for (size_t j = 0; j < n_; ++j) {
+      if (j == c) continue;
+      a_[r][j] *= inv;
+    }
+    a_[r][c] = inv;
+
+    // Substitute into the other rows.
+    for (size_t i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      Rational factor = a_[i][c];
+      if (factor.is_zero()) continue;
+      b_[i] -= factor * b_[r];
+      for (size_t j = 0; j < n_; ++j) {
+        if (j == c) continue;
+        a_[i][j] -= factor * a_[r][j];
+      }
+      a_[i][c] = -factor * a_[r][c];
+    }
+
+    // Substitute into the objective.
+    Rational factor = c_[c];
+    if (!factor.is_zero()) {
+      v_ += factor * b_[r];
+      for (size_t j = 0; j < n_; ++j) {
+        if (j == c) continue;
+        c_[j] -= factor * a_[r][j];
+      }
+      c_[c] = -factor * a_[r][c];
+    }
+
+    std::swap(basic_[r], nonbasic_[c]);
+  }
+
+  static constexpr size_t kAuxBase = 1u << 20;  // unique id for the aux var
+
+ public:
+  /// Renames the auxiliary variable to the sentinel id so it can never be
+  /// preferred by Bland's rule over real variables.
+  void TagAuxiliary() {
+    CP_CHECK(has_aux_);
+    nonbasic_.back() = kAuxBase;
+  }
+
+ private:
+  size_t n_;  // nonbasic count
+  size_t m_;  // basic count
+  std::vector<std::vector<Rational>> a_;
+  std::vector<Rational> b_;
+  std::vector<Rational> c_;
+  Rational v_;
+  std::vector<size_t> basic_;
+  std::vector<size_t> nonbasic_;
+  bool has_aux_ = false;
+};
+
+}  // namespace
+
+LinearProgram::LinearProgram(size_t num_vars) : num_vars_(num_vars) {
+  CP_CHECK_GE(num_vars, 1u);
+  objective_.assign(num_vars, Rational(0));
+}
+
+void LinearProgram::AddLeq(const std::vector<Rational>& coeffs, const Rational& bound) {
+  CP_CHECK_EQ(coeffs.size(), num_vars_);
+  rows_.push_back(coeffs);
+  bounds_.push_back(bound);
+}
+
+void LinearProgram::AddGeq(const std::vector<Rational>& coeffs, const Rational& bound) {
+  std::vector<Rational> negated(coeffs.size());
+  for (size_t i = 0; i < coeffs.size(); ++i) negated[i] = -coeffs[i];
+  AddLeq(negated, -bound);
+}
+
+void LinearProgram::AddEq(const std::vector<Rational>& coeffs, const Rational& bound) {
+  AddLeq(coeffs, bound);
+  AddGeq(coeffs, bound);
+}
+
+void LinearProgram::SetObjective(const std::vector<Rational>& coeffs) {
+  CP_CHECK_EQ(coeffs.size(), num_vars_);
+  objective_ = coeffs;
+}
+
+LpResult LinearProgram::Maximize() const {
+  LpResult result;
+  CP_CHECK(!rows_.empty()) << "LP with no constraints is unbounded or trivial";
+
+  Dictionary dict(rows_, bounds_, objective_, num_vars_);
+  if (!dict.Feasible()) {
+    // Phase one with the auxiliary variable.
+    Dictionary aux(rows_, bounds_, objective_, num_vars_);
+    aux.AddAuxiliary();
+    aux.TagAuxiliary();
+    aux.InitialAuxPivot();
+    bool bounded = aux.Optimize();
+    CP_CHECK(bounded) << "phase-one LP cannot be unbounded";
+    if (!aux.objective_value().is_zero()) {
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    aux.ForceAuxNonbasic();
+    aux.RestoreObjective(objective_);
+    if (!aux.Optimize()) {
+      result.status = LpStatus::kUnbounded;
+      return result;
+    }
+    result.status = LpStatus::kOptimal;
+    result.objective = aux.objective_value();
+    result.solution = aux.Solution(num_vars_);
+    return result;
+  }
+
+  if (!dict.Optimize()) {
+    result.status = LpStatus::kUnbounded;
+    return result;
+  }
+  result.status = LpStatus::kOptimal;
+  result.objective = dict.objective_value();
+  result.solution = dict.Solution(num_vars_);
+  return result;
+}
+
+LpResult LinearProgram::Minimize() const {
+  LinearProgram negated(num_vars_);
+  negated.rows_ = rows_;
+  negated.bounds_ = bounds_;
+  std::vector<Rational> flipped(num_vars_);
+  for (size_t i = 0; i < num_vars_; ++i) flipped[i] = -objective_[i];
+  negated.objective_ = flipped;
+  LpResult result = negated.Maximize();
+  if (result.status == LpStatus::kOptimal) result.objective = -result.objective;
+  return result;
+}
+
+}  // namespace coverpack

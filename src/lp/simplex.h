@@ -1,0 +1,70 @@
+/// \file simplex.h
+/// \brief Exact rational linear programming via two-phase simplex.
+///
+/// The LPs solved here (fractional edge cover / packing / vertex cover,
+/// hypercube share optimization) have a handful of variables and
+/// constraints, but their optima become exponents in load formulas, so we
+/// solve them exactly over rationals. Bland's pivoting rule guarantees
+/// termination.
+
+#ifndef COVERPACK_LP_SIMPLEX_H_
+#define COVERPACK_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "util/rational.h"
+
+namespace coverpack {
+
+/// Outcome of an LP solve.
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+};
+
+/// Solution of max c.x subject to A x <= b, x >= 0.
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  Rational objective;              ///< Optimal value (valid when kOptimal).
+  std::vector<Rational> solution;  ///< Optimal x (valid when kOptimal).
+};
+
+/// A linear program in canonical form: maximize c.x s.t. A x <= b, x >= 0.
+/// Rows of A may have any sign in b (phase one handles infeasible starts).
+class LinearProgram {
+ public:
+  /// \param num_vars number of decision variables (>= 1).
+  explicit LinearProgram(size_t num_vars);
+
+  size_t num_vars() const { return num_vars_; }
+
+  /// Adds the constraint sum_i coeffs[i] * x_i <= bound.
+  void AddLeq(const std::vector<Rational>& coeffs, const Rational& bound);
+
+  /// Adds sum_i coeffs[i] * x_i >= bound (stored as negated <=).
+  void AddGeq(const std::vector<Rational>& coeffs, const Rational& bound);
+
+  /// Adds sum_i coeffs[i] * x_i == bound (as a <= / >= pair).
+  void AddEq(const std::vector<Rational>& coeffs, const Rational& bound);
+
+  /// Sets the objective to maximize.
+  void SetObjective(const std::vector<Rational>& coeffs);
+
+  /// Solves the program.
+  LpResult Maximize() const;
+
+  /// Convenience: solves min c.x by maximizing -c.x; the returned objective
+  /// is the *minimum* (sign already flipped back).
+  LpResult Minimize() const;
+
+ private:
+  size_t num_vars_;
+  std::vector<std::vector<Rational>> rows_;
+  std::vector<Rational> bounds_;
+  std::vector<Rational> objective_;
+};
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_LP_SIMPLEX_H_

@@ -1,0 +1,35 @@
+/// \file cluster.h
+/// \brief A (virtual) cluster of p MPC servers with its load tracker.
+///
+/// Recursive algorithms allocate child Clusters for their subqueries and
+/// merge the children's trackers back into their own (at a server/round
+/// offset), so load accounting composes exactly like the paper's analysis:
+/// the subqueries of a decomposition run in parallel on disjoint server
+/// groups, in lock-stepped rounds.
+
+#ifndef COVERPACK_MPC_CLUSTER_H_
+#define COVERPACK_MPC_CLUSTER_H_
+
+#include <cstdint>
+
+#include "mpc/load_tracker.h"
+
+namespace coverpack {
+
+/// p servers plus the tracker recording what each of them received.
+class Cluster {
+ public:
+  explicit Cluster(uint32_t p) : p_(p), tracker_(p) {}
+
+  uint32_t p() const { return p_; }
+  LoadTracker& tracker() { return tracker_; }
+  const LoadTracker& tracker() const { return tracker_; }
+
+ private:
+  uint32_t p_;
+  LoadTracker tracker_;
+};
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_MPC_CLUSTER_H_

@@ -1,0 +1,29 @@
+#include "mpc/dist_relation.h"
+
+namespace coverpack {
+
+DistRelation DistRelation::Scatter(Cluster* cluster, const Relation& data, uint32_t round) {
+  DistRelation dist(data.attrs(), cluster->p());
+  uint32_t p = cluster->p();
+  for (size_t i = 0; i < data.size(); ++i) {
+    uint32_t target = static_cast<uint32_t>(i % p);
+    dist.shards_[target].AppendRow(data.row(i));
+  }
+  for (uint32_t s = 0; s < p; ++s) {
+    if (dist.shards_[s].size() > 0) {
+      cluster->tracker().Add(round, s, dist.shards_[s].size());
+    }
+  }
+  return dist;
+}
+
+DistRelation DistRelation::InitialPlacement(const Cluster& cluster, const Relation& data) {
+  DistRelation dist(data.attrs(), cluster.p());
+  uint32_t p = cluster.p();
+  for (size_t i = 0; i < data.size(); ++i) {
+    dist.shards_[i % p].AppendRow(data.row(i));
+  }
+  return dist;
+}
+
+}  // namespace coverpack

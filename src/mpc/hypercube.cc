@@ -1,0 +1,244 @@
+#include "mpc/hypercube.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/simplex.h"
+#include "relation/oracle.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace coverpack {
+namespace mpc {
+
+namespace {
+
+/// Per-attribute salted hash for grid coordinates.
+uint32_t CoordinateHash(AttrId attr, Value value, uint32_t extent) {
+  if (extent <= 1) return 0;
+  return static_cast<uint32_t>(MixHash(value * 0x100000001B3ull + attr + 1) % extent);
+}
+
+/// Reduces integer shares until their product fits into p, removing from
+/// the largest dimension first (costs the least in load).
+void FitSharesToP(std::vector<uint32_t>* shares, uint32_t p, uint64_t* grid_size) {
+  auto product = [&] {
+    uint64_t total = 1;
+    for (uint32_t share : *shares) {
+      total *= share;
+      if (total > (uint64_t{1} << 40)) break;
+    }
+    return total;
+  };
+  while (product() > p) {
+    auto it = std::max_element(shares->begin(), shares->end());
+    CP_CHECK(*it > 1) << "cannot fit shares into p";
+    --(*it);
+  }
+  *grid_size = product();
+}
+
+/// floor(p^(num/den)) computed exactly when p^num fits in 64 bits, with a
+/// floating-point fallback for extreme exponents.
+uint32_t IntegerPower(uint32_t p, const Rational& exponent) {
+  if (exponent.is_zero() || !exponent.is_positive()) return 1;
+  uint64_t num = static_cast<uint64_t>(exponent.num());
+  uint32_t den = static_cast<uint32_t>(exponent.den());
+  double bits = static_cast<double>(num) * std::log2(static_cast<double>(p));
+  if (bits < 62.0) {
+    uint64_t powered = SaturatingPow(p, static_cast<uint32_t>(num));
+    return static_cast<uint32_t>(FloorNthRoot(powered, den));
+  }
+  return static_cast<uint32_t>(
+      std::floor(std::pow(static_cast<double>(p), exponent.ToDouble())));
+}
+
+}  // namespace
+
+ShareVector OptimizeShares(const Hypergraph& query, uint32_t p) {
+  uint32_t num_attrs = query.num_attrs();
+  // Variables: y_0..y_{n-1}, t. Maximize t subject to
+  //   sum_x y_x <= 1, and for every edge e: t - sum_{x in e} y_x <= 0.
+  LinearProgram lp(num_attrs + 1);
+  std::vector<Rational> budget(num_attrs + 1, Rational(0));
+  for (AttrId v : query.AllAttrs().ToVector()) budget[v] = Rational(1);
+  lp.AddLeq(budget, Rational(1));
+  for (const auto& edge : query.edges()) {
+    std::vector<Rational> row(num_attrs + 1, Rational(0));
+    row[num_attrs] = Rational(1);
+    for (AttrId v : edge.attrs.ToVector()) row[v] = Rational(-1);
+    lp.AddLeq(row, Rational(0));
+  }
+  std::vector<Rational> objective(num_attrs + 1, Rational(0));
+  objective[num_attrs] = Rational(1);
+  lp.SetObjective(objective);
+  LpResult solved = lp.Maximize();
+  CP_CHECK(solved.status == LpStatus::kOptimal);
+
+  ShareVector result;
+  result.objective = solved.objective;
+  result.exponents.assign(solved.solution.begin(), solved.solution.begin() + num_attrs);
+  result.shares.assign(num_attrs, 1);
+  for (AttrId v = 0; v < num_attrs; ++v) {
+    result.shares[v] = std::max<uint32_t>(1, IntegerPower(p, result.exponents[v]));
+  }
+  FitSharesToP(&result.shares, p, &result.grid_size);
+  return result;
+}
+
+ShareVector UniformShares(const Hypergraph& query, AttrSet attrs, uint32_t p) {
+  ShareVector result;
+  uint32_t num_attrs = query.num_attrs();
+  result.shares.assign(num_attrs, 1);
+  result.exponents.assign(num_attrs, Rational(0));
+  uint32_t k = attrs.size();
+  if (k == 0) {
+    result.grid_size = 1;
+    return result;
+  }
+  uint32_t per_dim = static_cast<uint32_t>(FloorNthRoot(p, k));
+  per_dim = std::max<uint32_t>(1, per_dim);
+  for (AttrId v : attrs.ToVector()) {
+    result.shares[v] = per_dim;
+    result.exponents[v] = Rational(1, k);
+  }
+  FitSharesToP(&result.shares, p, &result.grid_size);
+  return result;
+}
+
+ShareVector OptimizeSharesForSizes(const Hypergraph& query,
+                                   const std::vector<uint64_t>& relation_sizes, uint32_t p) {
+  CP_CHECK_EQ(relation_sizes.size(), query.num_edges());
+  uint32_t num_attrs = query.num_attrs();
+  ShareVector result;
+  result.shares.assign(num_attrs, 1);
+  result.exponents.assign(num_attrs, Rational(0));
+  result.objective = OptimizeShares(query, p).objective;  // 1/tau* for reporting
+
+  auto cost = [&](const std::vector<uint32_t>& shares) {
+    double total = 0.0;
+    for (uint32_t e = 0; e < query.num_edges(); ++e) {
+      double denom = 1.0;
+      for (AttrId v : query.edge(e).attrs.ToVector()) {
+        denom *= static_cast<double>(shares[v]);
+      }
+      total += static_cast<double>(relation_sizes[e]) / denom;
+    }
+    return total;
+  };
+  auto product = [&](const std::vector<uint32_t>& shares) {
+    uint64_t total = 1;
+    for (uint32_t share : shares) {
+      total *= share;
+      if (total > p) return total;
+    }
+    return total;
+  };
+
+  // Greedy: repeatedly increment the share that lowers the replication
+  // cost the most while the grid still fits into p.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    double best_cost = cost(result.shares);
+    AttrId best_attr = num_attrs;
+    for (AttrId v : query.AllAttrs().ToVector()) {
+      std::vector<uint32_t> trial = result.shares;
+      ++trial[v];
+      if (product(trial) > p) continue;
+      double trial_cost = cost(trial);
+      if (trial_cost < best_cost - 1e-12) {
+        best_cost = trial_cost;
+        best_attr = v;
+      }
+    }
+    if (best_attr != num_attrs) {
+      ++result.shares[best_attr];
+      improved = true;
+    }
+  }
+  result.grid_size = product(result.shares);
+  CP_CHECK_LE(result.grid_size, p);
+  return result;
+}
+
+HypercubeResult HypercubeJoin(Cluster* cluster, const Hypergraph& query,
+                              const Instance& instance, const ShareVector& shares,
+                              uint32_t round, bool collect) {
+  instance.CheckAgainst(query);
+  uint32_t num_attrs = query.num_attrs();
+  CP_CHECK_EQ(shares.shares.size(), num_attrs);
+  CP_CHECK_LE(shares.grid_size, cluster->p());
+
+  // Mixed-radix strides over attribute dimensions.
+  std::vector<uint64_t> stride(num_attrs, 0);
+  uint64_t extent = 1;
+  for (AttrId v = 0; v < num_attrs; ++v) {
+    stride[v] = extent;
+    extent *= shares.shares[v];
+  }
+  CP_CHECK_EQ(extent, shares.grid_size);
+
+  // Route every tuple of every relation to all consistent grid cells.
+  std::vector<Instance> per_server;
+  if (collect) per_server.assign(shares.grid_size, Instance(query));
+  std::vector<uint64_t> receives(shares.grid_size, 0);
+
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    const Relation& relation = instance[e];
+    AttrSet edge_attrs = query.edge(e).attrs;
+    // Free dimensions: attributes not in this relation with share > 1.
+    std::vector<AttrId> free_dims;
+    uint64_t free_combos = 1;
+    for (AttrId v = 0; v < num_attrs; ++v) {
+      if (!edge_attrs.Contains(v) && shares.shares[v] > 1) {
+        free_dims.push_back(v);
+        free_combos *= shares.shares[v];
+      }
+    }
+    std::vector<uint32_t> cols;
+    std::vector<AttrId> bound;
+    for (AttrId v : edge_attrs.ToVector()) {
+      bound.push_back(v);
+      cols.push_back(relation.ColumnOf(v));
+    }
+    for (size_t i = 0; i < relation.size(); ++i) {
+      auto row = relation.row(i);
+      uint64_t base = 0;
+      for (size_t j = 0; j < bound.size(); ++j) {
+        base += stride[bound[j]] * CoordinateHash(bound[j], row[cols[j]], shares.shares[bound[j]]);
+      }
+      // Enumerate all combinations over the free dimensions.
+      for (uint64_t combo = 0; combo < free_combos; ++combo) {
+        uint64_t cell = base;
+        uint64_t rest = combo;
+        for (AttrId v : free_dims) {
+          cell += stride[v] * (rest % shares.shares[v]);
+          rest /= shares.shares[v];
+        }
+        ++receives[cell];
+        if (collect) per_server[cell][e].AppendRow(row);
+      }
+    }
+  }
+
+  HypercubeResult result;
+  for (uint32_t s = 0; s < shares.grid_size; ++s) {
+    if (receives[s] != 0) cluster->tracker().Add(round, s, receives[s]);
+    result.max_receive_load = std::max(result.max_receive_load, receives[s]);
+  }
+
+  if (collect) {
+    result.results = DistRelation(query.AllAttrs(), cluster->p());
+    for (uint32_t s = 0; s < shares.grid_size; ++s) {
+      Relation local = GenericJoin(query, per_server[s]);
+      result.output_count += local.size();
+      result.results.shard(s) = std::move(local);
+    }
+  }
+  return result;
+}
+
+}  // namespace mpc
+}  // namespace coverpack

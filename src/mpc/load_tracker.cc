@@ -1,0 +1,72 @@
+#include "mpc/load_tracker.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace coverpack {
+
+LoadTracker::LoadTracker(uint32_t num_servers) : num_servers_(num_servers) {
+  CP_CHECK_GE(num_servers, 1u);
+}
+
+void LoadTracker::Add(uint32_t round, uint32_t server, uint64_t amount) {
+  CP_CHECK_LT(server, num_servers_);
+  if (round >= rounds_.size()) {
+    rounds_.resize(round + 1, std::vector<uint64_t>(num_servers_, 0));
+  }
+  rounds_[round][server] += amount;
+}
+
+uint64_t LoadTracker::At(uint32_t round, uint32_t server) const {
+  if (round >= rounds_.size()) return 0;
+  return rounds_[round][server];
+}
+
+uint64_t LoadTracker::MaxLoad() const {
+  uint64_t max_load = 0;
+  for (const auto& round : rounds_) {
+    for (uint64_t load : round) max_load = std::max(max_load, load);
+  }
+  return max_load;
+}
+
+uint64_t LoadTracker::MaxLoadOfRound(uint32_t round) const {
+  if (round >= rounds_.size()) return 0;
+  uint64_t max_load = 0;
+  for (uint64_t load : rounds_[round]) max_load = std::max(max_load, load);
+  return max_load;
+}
+
+uint64_t LoadTracker::TotalCommunication() const {
+  uint64_t total = 0;
+  for (const auto& round : rounds_) {
+    for (uint64_t load : round) total += load;
+  }
+  return total;
+}
+
+void LoadTracker::Merge(const LoadTracker& child, uint32_t server_offset,
+                        uint32_t round_offset) {
+  CP_CHECK_LE(server_offset + child.num_servers_, num_servers_);
+  for (uint32_t r = 0; r < child.num_rounds(); ++r) {
+    for (uint32_t s = 0; s < child.num_servers_; ++s) {
+      uint64_t load = child.rounds_[r][s];
+      if (load != 0) Add(round_offset + r, server_offset + s, load);
+    }
+  }
+}
+
+void LoadTracker::MergeMapped(const LoadTracker& child, uint32_t round_offset,
+                              const std::function<uint32_t(uint32_t)>& physical_to_child) {
+  for (uint32_t s = 0; s < num_servers_; ++s) {
+    uint32_t c = physical_to_child(s);
+    if (c >= child.num_servers_) continue;
+    for (uint32_t r = 0; r < child.num_rounds(); ++r) {
+      uint64_t load = child.rounds_[r][c];
+      if (load != 0) Add(round_offset + r, s, load);
+    }
+  }
+}
+
+}  // namespace coverpack

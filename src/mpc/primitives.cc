@@ -1,0 +1,132 @@
+#include "mpc/primitives.h"
+
+#include <algorithm>
+
+#include "relation/operators.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace coverpack {
+namespace mpc {
+
+namespace {
+
+uint64_t KeyHashOfRow(const Relation& relation, size_t row, const std::vector<uint32_t>& cols) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  auto r = relation.row(row);
+  for (uint32_t col : cols) h = HashCombine(h, r[col]);
+  return h;
+}
+
+}  // namespace
+
+DistRelation HashPartition(Cluster* cluster, const DistRelation& input, AttrSet key,
+                           uint32_t round) {
+  CP_CHECK(key.IsSubsetOf(input.attrs()));
+  uint32_t p = cluster->p();
+  DistRelation output(input.attrs(), p);
+  std::vector<uint32_t> cols;
+  // Column ranks are schema-wide, identical across shards.
+  for (AttrId attr : key.ToVector()) {
+    cols.push_back(Relation(input.attrs()).ColumnOf(attr));
+  }
+  for (uint32_t s = 0; s < input.num_shards(); ++s) {
+    const Relation& shard = input.shard(s);
+    for (size_t i = 0; i < shard.size(); ++i) {
+      uint32_t target = static_cast<uint32_t>(KeyHashOfRow(shard, i, cols) % p);
+      output.shard(target).AppendRow(shard.row(i));
+    }
+  }
+  for (uint32_t s = 0; s < p; ++s) {
+    if (!output.shard(s).empty()) {
+      cluster->tracker().Add(round, s, output.shard(s).size());
+    }
+  }
+  return output;
+}
+
+void ChargeBroadcast(Cluster* cluster, size_t data_size, uint32_t round) {
+  if (data_size == 0) return;
+  for (uint32_t s = 0; s < cluster->p(); ++s) {
+    cluster->tracker().Add(round, s, data_size);
+  }
+}
+
+void ChargeLinear(Cluster* cluster, uint64_t total_items, uint32_t round) {
+  if (total_items == 0) return;
+  uint64_t per_server = CeilDiv(total_items, cluster->p());
+  for (uint32_t s = 0; s < cluster->p(); ++s) {
+    cluster->tracker().Add(round, s, per_server);
+  }
+}
+
+std::unordered_map<Value, uint64_t> DegreeByValue(Cluster* cluster, const DistRelation& input,
+                                                  AttrId attr, uint32_t* round) {
+  // Local pre-aggregation is free; the exchange of (value, count) pairs and
+  // the final combine are two O(N/p) rounds of the sort-based reduce-by-key.
+  std::unordered_map<Value, uint64_t> degrees;
+  uint64_t pair_count = 0;
+  for (uint32_t s = 0; s < input.num_shards(); ++s) {
+    const Relation& shard = input.shard(s);
+    if (shard.empty()) continue;
+    uint32_t col = shard.ColumnOf(attr);
+    std::unordered_map<Value, uint64_t> local;
+    for (size_t i = 0; i < shard.size(); ++i) ++local[shard.row(i)[col]];
+    pair_count += local.size();
+    for (const auto& [value, count] : local) degrees[value] += count;
+  }
+  ChargeLinear(cluster, pair_count, *round);
+  ChargeLinear(cluster, degrees.size(), *round + 1);
+  *round += 2;
+  return degrees;
+}
+
+DistRelation SemiJoinMpc(Cluster* cluster, const DistRelation& left, const DistRelation& right,
+                         uint32_t* round) {
+  AttrSet shared = left.attrs().Intersect(right.attrs());
+  CP_CHECK(!shared.empty()) << "MPC semi-join requires a shared attribute";
+  DistRelation left_parts = HashPartition(cluster, left, shared, *round);
+  DistRelation right_parts = HashPartition(cluster, right, shared, *round);
+  *round += 1;
+  DistRelation output(left.attrs(), cluster->p());
+  for (uint32_t s = 0; s < cluster->p(); ++s) {
+    output.shard(s) = SemiJoin(left_parts.shard(s), right_parts.shard(s));
+  }
+  return output;
+}
+
+std::vector<uint32_t> ParallelPack(Cluster* cluster, const std::vector<uint64_t>& weights,
+                                   uint64_t capacity, uint32_t* round) {
+  CP_CHECK_GT(capacity, 0u);
+  // First-fit over descending weights gives bins in (capacity, 2*capacity]
+  // except possibly the last — the guarantee of the [15] primitive.
+  std::vector<size_t> order(weights.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return weights[a] > weights[b]; });
+  std::vector<uint32_t> bin_of(weights.size(), 0);
+  std::vector<uint64_t> bin_load;
+  for (size_t i : order) {
+    CP_CHECK_LE(weights[i], capacity) << "parallel-packing input exceeds capacity";
+    bool placed = false;
+    for (size_t b = 0; b < bin_load.size(); ++b) {
+      if (bin_load[b] + weights[i] <= 2 * capacity && bin_load[b] < capacity) {
+        bin_load[b] += weights[i];
+        bin_of[i] = static_cast<uint32_t>(b);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      bin_load.push_back(weights[i]);
+      bin_of[i] = static_cast<uint32_t>(bin_load.size() - 1);
+    }
+  }
+  ChargeLinear(cluster, weights.size(), *round);
+  *round += 1;
+  return bin_of;
+}
+
+}  // namespace mpc
+}  // namespace coverpack

@@ -1,0 +1,116 @@
+/// \file attr_set.h
+/// \brief Compact set of attribute ids, backed by a 64-bit mask.
+///
+/// Join queries in this library have constant size (the paper assumes data
+/// complexity), so a query never has more than 64 attributes; a bitmask
+/// makes subset tests, residuals Q_x and the power-set enumerations of
+/// Theorem 1 / Theorem 3 cheap and allocation-free.
+
+#ifndef COVERPACK_QUERY_ATTR_SET_H_
+#define COVERPACK_QUERY_ATTR_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace coverpack {
+
+/// Identifies an attribute within one Hypergraph (dense, 0-based).
+using AttrId = uint32_t;
+
+/// A set of AttrId drawn from [0, 64).
+class AttrSet {
+ public:
+  constexpr AttrSet() : bits_(0) {}
+  constexpr explicit AttrSet(uint64_t bits) : bits_(bits) {}
+
+  /// The set {id}.
+  static AttrSet Single(AttrId id) {
+    CP_DCHECK(id < 64);
+    return AttrSet(uint64_t{1} << id);
+  }
+
+  /// The set {0, 1, ..., n-1}.
+  static AttrSet FirstN(uint32_t n) {
+    CP_DCHECK(n <= 64);
+    return AttrSet(n == 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1);
+  }
+
+  static AttrSet FromIds(const std::vector<AttrId>& ids) {
+    AttrSet set;
+    for (AttrId id : ids) set.Insert(id);
+    return set;
+  }
+
+  uint64_t bits() const { return bits_; }
+  bool empty() const { return bits_ == 0; }
+  uint32_t size() const { return static_cast<uint32_t>(std::popcount(bits_)); }
+
+  bool Contains(AttrId id) const { return (bits_ >> id) & 1; }
+  void Insert(AttrId id) {
+    CP_DCHECK(id < 64);
+    bits_ |= uint64_t{1} << id;
+  }
+  void Remove(AttrId id) { bits_ &= ~(uint64_t{1} << id); }
+
+  bool IsSubsetOf(AttrSet other) const { return (bits_ & ~other.bits_) == 0; }
+  bool Intersects(AttrSet other) const { return (bits_ & other.bits_) != 0; }
+
+  AttrSet Union(AttrSet other) const { return AttrSet(bits_ | other.bits_); }
+  AttrSet Intersect(AttrSet other) const { return AttrSet(bits_ & other.bits_); }
+  AttrSet Minus(AttrSet other) const { return AttrSet(bits_ & ~other.bits_); }
+
+  /// Lowest attribute id in the set; set must be nonempty.
+  AttrId First() const {
+    CP_DCHECK(!empty());
+    return static_cast<AttrId>(std::countr_zero(bits_));
+  }
+
+  /// Expands to an ordered vector of ids.
+  std::vector<AttrId> ToVector() const {
+    std::vector<AttrId> ids;
+    ids.reserve(size());
+    uint64_t bits = bits_;
+    while (bits != 0) {
+      ids.push_back(static_cast<AttrId>(std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+    return ids;
+  }
+
+  bool operator==(AttrSet other) const { return bits_ == other.bits_; }
+  bool operator!=(AttrSet other) const { return bits_ != other.bits_; }
+  bool operator<(AttrSet other) const { return bits_ < other.bits_; }
+
+ private:
+  uint64_t bits_;
+};
+
+/// Iterates over all subsets of `universe` (including empty and full).
+/// Usage: for (SubsetIterator it(u); !it.Done(); it.Next()) use(it.Current());
+class SubsetIterator {
+ public:
+  explicit SubsetIterator(AttrSet universe)
+      : universe_(universe.bits()), current_(0), done_(false) {}
+
+  bool Done() const { return done_; }
+  AttrSet Current() const { return AttrSet(current_); }
+  void Next() {
+    if (current_ == universe_) {
+      done_ = true;
+    } else {
+      current_ = (current_ - universe_) & universe_;
+    }
+  }
+
+ private:
+  uint64_t universe_;
+  uint64_t current_;
+  bool done_;
+};
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_QUERY_ATTR_SET_H_

@@ -1,0 +1,248 @@
+#include "query/decomposition.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "query/properties.h"
+#include "util/logging.h"
+
+namespace coverpack {
+
+namespace {
+
+/// Cross product of two set families: {a U b : a in X, b in Y}.
+std::vector<EdgeSet> CrossFamilies(const std::vector<EdgeSet>& x, const std::vector<EdgeSet>& y) {
+  std::vector<EdgeSet> result;
+  result.reserve(x.size() * y.size());
+  for (EdgeSet a : x) {
+    for (EdgeSet b : y) result.push_back(a.Union(b));
+  }
+  return result;
+}
+
+void DedupFamily(std::vector<EdgeSet>* family) {
+  std::sort(family->begin(), family->end());
+  family->erase(std::unique(family->begin(), family->end()), family->end());
+}
+
+/// Grows one twig from `root` downward, stopping at (and including, as twig
+/// leaves) internal cover nodes; returns the boundary nodes as next roots.
+Twig GrowTwig(const JoinTree& tree, uint32_t root, EdgeSet internal_cover, bool owns_root,
+              std::vector<uint32_t>* next_roots) {
+  Twig twig;
+  twig.root = root;
+  twig.owns_root = owns_root;
+  twig.nodes.Insert(root);
+  std::vector<uint32_t> stack{root};
+  while (!stack.empty()) {
+    uint32_t u = stack.back();
+    stack.pop_back();
+    for (uint32_t child : tree.children(u)) {
+      twig.nodes.Insert(child);
+      if (internal_cover.Contains(child)) {
+        next_roots->push_back(child);  // boundary: leaf here, root below
+      } else {
+        stack.push_back(child);
+      }
+    }
+  }
+  return twig;
+}
+
+/// Linear cover of the twig: peel root-to-leaf paths recursively
+/// (Definition 4.7). Paths descend to the smallest-id child for
+/// determinism; descent stops at nodes outside the twig.
+void LinearCover(const JoinTree& tree, const Twig& twig, uint32_t start,
+                 std::vector<std::vector<uint32_t>>* pieces) {
+  std::vector<uint32_t> path;
+  uint32_t u = start;
+  for (;;) {
+    path.push_back(u);
+    uint32_t next = JoinTree::kNoParent;
+    for (uint32_t child : tree.children(u)) {
+      if (!twig.nodes.Contains(child)) continue;
+      // Boundary cover nodes are twig leaves: they terminate a path but may
+      // still be chosen as the endpoint.
+      if (next == JoinTree::kNoParent || child < next) next = child;
+    }
+    if (next == JoinTree::kNoParent) break;
+    bool next_is_twig_leaf = true;
+    for (uint32_t grand : tree.children(next)) {
+      if (twig.nodes.Contains(grand)) next_is_twig_leaf = false;
+    }
+    u = next;
+    if (next_is_twig_leaf) {
+      path.push_back(u);
+      break;
+    }
+  }
+  pieces->push_back(path);
+  // Recurse into subtrees hanging off the path.
+  for (uint32_t node : path) {
+    for (uint32_t child : tree.children(node)) {
+      if (!twig.nodes.Contains(child)) continue;
+      if (std::find(path.begin(), path.end(), child) != path.end()) continue;
+      LinearCover(tree, twig, child, pieces);
+    }
+  }
+}
+
+/// Family of one linear piece per Theorem 3 rule 4: pick any one relation
+/// of the piece; when the piece contains an owned root r, additionally
+/// cross with {{r}, empty}.
+std::vector<EdgeSet> PieceFamily(const std::vector<uint32_t>& piece, uint32_t root,
+                                 bool piece_has_owned_root) {
+  std::vector<EdgeSet> base;
+  for (uint32_t node : piece) {
+    if (piece_has_owned_root && node == root) continue;
+    if (!piece_has_owned_root && node == root) continue;  // root owned by parent twig
+    base.push_back(EdgeSet::Single(node));
+  }
+  if (base.empty()) base.push_back(EdgeSet());
+  if (piece_has_owned_root) {
+    std::vector<EdgeSet> with_root{EdgeSet::Single(root), EdgeSet()};
+    return CrossFamilies(base, with_root);
+  }
+  return base;
+}
+
+/// Family of one twig: cross product over its pieces.
+std::vector<EdgeSet> TwigFamily(const Twig& twig) {
+  std::vector<EdgeSet> family{EdgeSet()};
+  for (size_t i = 0; i < twig.pieces.size(); ++i) {
+    const auto& piece = twig.pieces[i];
+    bool contains_root = std::find(piece.begin(), piece.end(), twig.root) != piece.end();
+    std::vector<EdgeSet> piece_family =
+        PieceFamily(piece, twig.root, contains_root && twig.owns_root);
+    family = CrossFamilies(family, piece_family);
+  }
+  return family;
+}
+
+}  // namespace
+
+TwigDecomposition DecomposeTwigs(JoinTree tree, EdgeSet component_nodes, EdgeSet cover) {
+  // Internal cover nodes of this component (cover nodes that are not
+  // leaves of the tree).
+  EdgeSet internal_cover;
+  for (uint32_t node : component_nodes.ToVector()) {
+    if (cover.Contains(node) && !tree.IsLeaf(node)) internal_cover.Insert(node);
+  }
+
+  // Root selection: an internal cover node if one exists, else any leaf
+  // (leaves of a reduced acyclic query are always in the cover).
+  uint32_t root = JoinTree::kNoParent;
+  if (!internal_cover.empty()) {
+    root = internal_cover.First();
+  } else {
+    for (uint32_t node : component_nodes.ToVector()) {
+      if (tree.IsLeaf(node)) {
+        root = node;
+        break;
+      }
+    }
+    if (root == JoinTree::kNoParent) root = component_nodes.First();
+  }
+  tree.RerootAt(root);
+
+  TwigDecomposition decomposition;
+  std::vector<uint32_t> roots{root};
+  bool first = true;
+  while (!roots.empty()) {
+    uint32_t r = roots.back();
+    roots.pop_back();
+    // The twig root itself never splits again, so exclude it from the
+    // boundary set while growing (a boundary node becomes the next root).
+    EdgeSet boundary = internal_cover;
+    boundary.Remove(r);
+    Twig twig = GrowTwig(tree, r, boundary, /*owns_root=*/first, &roots);
+    first = false;
+    LinearCover(tree, twig, twig.root, &twig.pieces);
+    decomposition.twigs.push_back(std::move(twig));
+  }
+  // Re-derive ownership: only the very first twig owns its root; all later
+  // roots are boundary nodes owned (as leaves) by their parent twig.
+  for (size_t i = 1; i < decomposition.twigs.size(); ++i) {
+    decomposition.twigs[i].owns_root = false;
+  }
+  return decomposition;
+}
+
+std::vector<EdgeSet> SFamily(const Hypergraph& query) {
+  // Rule 1: strip subsumed relations; each contributes its singleton.
+  std::vector<EdgeSet> family_subsumed;
+  EdgeSet live = query.AllEdges();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (EdgeId i : live.ToVector()) {
+      for (EdgeId j : live.ToVector()) {
+        if (i == j) continue;
+        if (query.edge(i).attrs.IsSubsetOf(query.edge(j).attrs)) {
+          family_subsumed.push_back(EdgeSet::Single(i));
+          live.Remove(i);
+          changed = true;
+          break;
+        }
+      }
+      if (changed) break;
+    }
+  }
+
+  Hypergraph reduced = query.InducedByEdges(live);
+  auto tree = JoinTree::Build(reduced);
+  CP_CHECK(tree.has_value()) << "SFamily requires an alpha-acyclic query: " << query.ToString();
+  EdgeSet cover = MinimumIntegralEdgeCover(reduced).edges;
+
+  // Per component: twig decomposition, then cross the twig families.
+  std::vector<EdgeSet> family{EdgeSet()};
+  for (EdgeSet component : tree->Components()) {
+    TwigDecomposition decomposition = DecomposeTwigs(*tree, component, cover);
+    for (const Twig& twig : decomposition.twigs) {
+      family = CrossFamilies(family, TwigFamily(twig));
+    }
+  }
+
+  // Translate reduced-query edge ids back to original ids (by name).
+  std::vector<EdgeId> live_ids = live.ToVector();
+  std::vector<EdgeSet> translated;
+  translated.reserve(family.size());
+  for (EdgeSet s : family) {
+    EdgeSet original;
+    for (EdgeId reduced_id : s.ToVector()) {
+      original.Insert(live_ids[reduced_id]);
+    }
+    translated.push_back(original);
+  }
+  translated.insert(translated.end(), family_subsumed.begin(), family_subsumed.end());
+  DedupFamily(&translated);
+  return translated;
+}
+
+uint32_t MaxSFamilySetSize(const Hypergraph& query) {
+  uint32_t max_size = 0;
+  for (EdgeSet s : SFamily(query)) max_size = std::max(max_size, s.size());
+  return max_size;
+}
+
+std::string DecompositionToString(const Hypergraph& query,
+                                  const TwigDecomposition& decomposition) {
+  std::ostringstream oss;
+  for (size_t t = 0; t < decomposition.twigs.size(); ++t) {
+    const Twig& twig = decomposition.twigs[t];
+    oss << "twig " << t << " (root " << query.edge(twig.root).name
+        << (twig.owns_root ? ", owned" : ", shared") << "): pieces";
+    for (const auto& piece : twig.pieces) {
+      oss << " [";
+      for (size_t i = 0; i < piece.size(); ++i) {
+        if (i) oss << "-";
+        oss << query.edge(piece[i]).name;
+      }
+      oss << "]";
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace coverpack

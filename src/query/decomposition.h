@@ -1,0 +1,63 @@
+/// \file decomposition.h
+/// \brief Twig decompositions, linear covers, and Theorem 3's S(E) family.
+///
+/// Section 4 of the paper derives worst-case optimality for acyclic joins
+/// from a decomposition of the join tree: the tree is split into *twigs*
+/// at internal nodes of an (integral, optimal) edge cover; each twig is
+/// covered by node-disjoint root-to-leaf paths (a *linear cover*,
+/// Definition 4.7); and the family S(E) of relation subsets that appear in
+/// the load formula of Theorem 4 is assembled by picking one relation per
+/// linear piece (plus optionally an owned twig root). The pivotal property
+/// — verified by tests — is that the largest set in S(E) has exactly rho*
+/// relations, which turns Theorem 4's bound into N / p^(1/rho*)
+/// (Theorem 5) for uniform relation sizes.
+
+#ifndef COVERPACK_QUERY_DECOMPOSITION_H_
+#define COVERPACK_QUERY_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/hypergraph.h"
+#include "query/join_tree.h"
+
+namespace coverpack {
+
+/// One twig of a join-tree decomposition.
+struct Twig {
+  uint32_t root = 0;      ///< Node id of the twig's root.
+  bool owns_root = true;  ///< False when the root is a leaf of the parent twig.
+  EdgeSet nodes;          ///< All nodes of the twig (including the root).
+  /// Node-disjoint linear pieces covering the twig; pieces[0] starts at the
+  /// root; every piece is ordered from its near-root end to its leaf.
+  std::vector<std::vector<uint32_t>> pieces;
+};
+
+/// A twig decomposition of one join-tree component.
+struct TwigDecomposition {
+  std::vector<Twig> twigs;  ///< In discovery order (parent twigs first).
+};
+
+/// Decomposes the component of `tree` containing `component_nodes` into
+/// twigs, splitting at internal nodes of `cover` (an integral edge cover of
+/// the query). The tree is re-rooted internally; `tree` is taken by value.
+TwigDecomposition DecomposeTwigs(JoinTree tree, EdgeSet component_nodes, EdgeSet cover);
+
+/// The family S(E) of Theorem 3 for an alpha-acyclic query: every set is a
+/// subset of relations built by picking one relation per linear piece of
+/// the twig decomposition (plus optional owned roots), unioned with the
+/// singleton sets produced by removing subsumed relations. All EdgeIds are
+/// relative to `query`. Aborts if the query is cyclic.
+std::vector<EdgeSet> SFamily(const Hypergraph& query);
+
+/// max_{S in SFamily, S nonempty} |S|. Equals rho* for acyclic queries
+/// (this is the content of Theorem 5; asserted in tests).
+uint32_t MaxSFamilySetSize(const Hypergraph& query);
+
+/// Pretty rendering of a decomposition for benches (Figure 5/6 output).
+std::string DecompositionToString(const Hypergraph& query, const TwigDecomposition& decomposition);
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_QUERY_DECOMPOSITION_H_

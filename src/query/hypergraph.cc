@@ -1,0 +1,154 @@
+#include "query/hypergraph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace coverpack {
+
+AttrId Hypergraph::Builder::AddAttribute(const std::string& name) {
+  for (size_t i = 0; i < attr_names_.size(); ++i) {
+    if (attr_names_[i] == name) return static_cast<AttrId>(i);
+  }
+  CP_CHECK_LT(attr_names_.size(), 64u) << "at most 64 attributes supported";
+  attr_names_.push_back(name);
+  return static_cast<AttrId>(attr_names_.size() - 1);
+}
+
+EdgeId Hypergraph::Builder::AddRelation(const std::string& name,
+                                        const std::vector<std::string>& attr_names) {
+  std::vector<AttrId> ids;
+  ids.reserve(attr_names.size());
+  for (const auto& attr : attr_names) ids.push_back(AddAttribute(attr));
+  return AddRelationByIds(name, ids);
+}
+
+EdgeId Hypergraph::Builder::AddRelationByIds(const std::string& name,
+                                             const std::vector<AttrId>& attr_ids) {
+  for (const auto& edge : edges_) {
+    CP_CHECK(edge.name != name) << "duplicate relation name " << name;
+  }
+  CP_CHECK_LT(edges_.size(), 64u) << "at most 64 relations supported";
+  Edge edge;
+  edge.name = name;
+  for (AttrId id : attr_ids) {
+    CP_CHECK_LT(id, attr_names_.size());
+    edge.attrs.Insert(id);
+  }
+  CP_CHECK(!edge.attrs.empty()) << "relation " << name << " has no attributes";
+  edges_.push_back(std::move(edge));
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+Hypergraph Hypergraph::Builder::Build() const { return Hypergraph(attr_names_, edges_); }
+
+std::optional<AttrId> Hypergraph::FindAttribute(const std::string& name) const {
+  for (size_t i = 0; i < attr_names_.size(); ++i) {
+    if (attr_names_[i] == name) return static_cast<AttrId>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<EdgeId> Hypergraph::FindEdge(const std::string& name) const {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].name == name) return static_cast<EdgeId>(i);
+  }
+  return std::nullopt;
+}
+
+AttrSet Hypergraph::AllAttrs() const {
+  AttrSet all;
+  for (const auto& edge : edges_) all = all.Union(edge.attrs);
+  return all;
+}
+
+EdgeSet Hypergraph::EdgesContaining(AttrId x) const {
+  EdgeSet set;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].attrs.Contains(x)) set.Insert(static_cast<EdgeId>(i));
+  }
+  return set;
+}
+
+AttrSet Hypergraph::AttrsOf(EdgeSet edges) const {
+  AttrSet attrs;
+  for (EdgeId id : edges.ToVector()) attrs = attrs.Union(edges_[id].attrs);
+  return attrs;
+}
+
+Hypergraph Hypergraph::Residual(AttrSet removed_attrs) const {
+  std::vector<Edge> edges;
+  for (const auto& edge : edges_) {
+    Edge residual{edge.name, edge.attrs.Minus(removed_attrs)};
+    if (!residual.attrs.empty()) edges.push_back(std::move(residual));
+  }
+  return Hypergraph(attr_names_, std::move(edges));
+}
+
+Hypergraph Hypergraph::InducedByEdges(EdgeSet kept) const {
+  std::vector<Edge> edges;
+  for (EdgeId id : kept.ToVector()) {
+    CP_CHECK_LT(id, edges_.size());
+    edges.push_back(edges_[id]);
+  }
+  return Hypergraph(attr_names_, std::move(edges));
+}
+
+std::optional<EdgeId> Hypergraph::SameNamedEdgeIn(const Hypergraph& other, EdgeId id) const {
+  CP_CHECK_LT(id, edges_.size());
+  return other.FindEdge(edges_[id].name);
+}
+
+bool Hypergraph::IsReduced() const {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    for (size_t j = 0; j < edges_.size(); ++j) {
+      if (i == j) continue;
+      if (edges_[i].attrs.IsSubsetOf(edges_[j].attrs)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<EdgeSet> Hypergraph::ConnectedComponents() const {
+  std::vector<EdgeSet> components;
+  uint64_t visited = 0;
+  for (uint32_t start = 0; start < edges_.size(); ++start) {
+    if ((visited >> start) & 1) continue;
+    // BFS over edges connected through shared attributes.
+    EdgeSet component = EdgeSet::Single(start);
+    AttrSet frontier_attrs = edges_[start].attrs;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (uint32_t e = 0; e < edges_.size(); ++e) {
+        if (component.Contains(e)) continue;
+        if (edges_[e].attrs.Intersects(frontier_attrs)) {
+          component.Insert(e);
+          frontier_attrs = frontier_attrs.Union(edges_[e].attrs);
+          grew = true;
+        }
+      }
+    }
+    visited |= component.bits();
+    components.push_back(component);
+  }
+  return components;
+}
+
+std::string Hypergraph::ToString() const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i != 0) oss << " |><| ";
+    oss << edges_[i].name << "(";
+    std::vector<AttrId> ids = edges_[i].attrs.ToVector();
+    for (size_t j = 0; j < ids.size(); ++j) {
+      if (j != 0) oss << ",";
+      oss << attr_names_[ids[j]];
+    }
+    oss << ")";
+  }
+  return oss.str();
+}
+
+}  // namespace coverpack

@@ -1,0 +1,121 @@
+/// \file hypergraph.h
+/// \brief The join-query hypergraph Q = (V, E).
+///
+/// Vertices model attributes and hyperedges model relations (Section 1.1 of
+/// the paper). The hypergraph is immutable after construction through
+/// Builder; derived queries (residual Q_x, reduced queries, subqueries) are
+/// produced as new Hypergraph values so algorithm recursions cannot corrupt
+/// shared state.
+
+#ifndef COVERPACK_QUERY_HYPERGRAPH_H_
+#define COVERPACK_QUERY_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/attr_set.h"
+
+namespace coverpack {
+
+/// Identifies a hyperedge (relation) within one Hypergraph (dense, 0-based).
+using EdgeId = uint32_t;
+
+/// A set of EdgeId; edges also number < 64 so the same bitmask type works.
+using EdgeSet = AttrSet;
+
+/// One relation schema in the query.
+struct Edge {
+  std::string name;    ///< Relation name, e.g. "R1".
+  AttrSet attrs;       ///< Attributes of this relation.
+};
+
+/// An immutable join-query hypergraph.
+class Hypergraph {
+ public:
+  /// Incrementally assembles a Hypergraph.
+  class Builder {
+   public:
+    /// Adds (or finds) an attribute by name, returning its id.
+    AttrId AddAttribute(const std::string& name);
+
+    /// Adds a relation over the named attributes (created on demand).
+    /// Duplicate relation names are rejected.
+    EdgeId AddRelation(const std::string& name, const std::vector<std::string>& attr_names);
+
+    /// Adds a relation over existing attribute ids.
+    EdgeId AddRelationByIds(const std::string& name, const std::vector<AttrId>& attr_ids);
+
+    Hypergraph Build() const;
+
+   private:
+    std::vector<std::string> attr_names_;
+    std::vector<Edge> edges_;
+  };
+
+  uint32_t num_attrs() const { return static_cast<uint32_t>(attr_names_.size()); }
+  uint32_t num_edges() const { return static_cast<uint32_t>(edges_.size()); }
+
+  const std::string& attr_name(AttrId id) const { return attr_names_[id]; }
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Looks up an attribute id by name.
+  std::optional<AttrId> FindAttribute(const std::string& name) const;
+
+  /// Looks up an edge id by relation name.
+  std::optional<EdgeId> FindEdge(const std::string& name) const;
+
+  /// All attributes of the query (union of all edges).
+  AttrSet AllAttrs() const;
+
+  /// All edges of the query as a set.
+  EdgeSet AllEdges() const { return EdgeSet::FirstN(num_edges()); }
+
+  /// Set of edges containing attribute x (the paper's E_x).
+  EdgeSet EdgesContaining(AttrId x) const;
+
+  /// Number of edges containing attribute x (its degree).
+  uint32_t AttrDegree(AttrId x) const { return EdgesContaining(x).size(); }
+
+  /// Union of attributes over a set of edges.
+  AttrSet AttrsOf(EdgeSet edges) const;
+
+  /// The residual query Q_x = (V - x, {e - x : e in E}). The attribute name
+  /// table is kept whole so attribute ids stay stable across residuals;
+  /// edges that become empty are dropped (their ids shift).
+  Hypergraph Residual(AttrSet removed_attrs) const;
+
+  /// Returns the query induced by a subset of edges. The attribute name
+  /// table is kept whole (attribute ids stable); edge ids are renumbered
+  /// densely, relatable through SameNamedEdgeIn.
+  Hypergraph InducedByEdges(EdgeSet kept) const;
+
+  /// Maps every edge id in *this* graph to the id of the same-named edge in
+  /// `other` (or nullopt if absent). Used when relating derived queries
+  /// back to the original.
+  std::optional<EdgeId> SameNamedEdgeIn(const Hypergraph& other, EdgeId id) const;
+
+  /// True if the hypergraph is "reduced": no edge is a subset of another
+  /// (Section 3: the algorithm removes such edges by semi-joins first).
+  bool IsReduced() const;
+
+  /// Connected components of the edge set (edges sharing an attribute are
+  /// connected). Returns one EdgeSet per component.
+  std::vector<EdgeSet> ConnectedComponents() const;
+
+  /// Human-readable form, e.g. "R1(A,B,C) |><| R2(D,E,F)".
+  std::string ToString() const;
+
+ private:
+  Hypergraph(std::vector<std::string> attr_names, std::vector<Edge> edges)
+      : attr_names_(std::move(attr_names)), edges_(std::move(edges)) {}
+
+  std::vector<std::string> attr_names_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_QUERY_HYPERGRAPH_H_

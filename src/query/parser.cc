@@ -1,0 +1,78 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace coverpack {
+
+namespace {
+
+/// Single-pass recursive-descent scanner over the query text.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text), pos_(0) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipSpace();
+    CP_CHECK(pos_ < text_.size()) << "unexpected end of query text";
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    CP_CHECK(Peek() == c) << "expected '" << c << "' at position " << pos_ << " in \"" << text_
+                          << "\"";
+    ++pos_;
+  }
+
+  std::string Name() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    CP_CHECK(pos_ > start) << "expected a name at position " << start << " in \"" << text_ << "\"";
+    return text_.substr(start, pos_ - start);
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_;
+};
+
+}  // namespace
+
+Hypergraph ParseQuery(const std::string& text) {
+  Scanner scanner(text);
+  Hypergraph::Builder builder;
+  bool first = true;
+  while (!scanner.AtEnd()) {
+    if (!first) scanner.Expect(',');
+    first = false;
+    std::string relation = scanner.Name();
+    scanner.Expect('(');
+    std::vector<std::string> attrs;
+    attrs.push_back(scanner.Name());
+    while (scanner.Peek() == ',') {
+      scanner.Expect(',');
+      attrs.push_back(scanner.Name());
+    }
+    scanner.Expect(')');
+    builder.AddRelation(relation, attrs);
+  }
+  Hypergraph graph = builder.Build();
+  CP_CHECK_GT(graph.num_edges(), 0u) << "empty query";
+  return graph;
+}
+
+}  // namespace coverpack

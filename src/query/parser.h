@@ -1,0 +1,24 @@
+/// \file parser.h
+/// \brief Tiny textual DSL for join queries.
+///
+/// Grammar:  query    := relation ("," relation)*
+///           relation := NAME "(" NAME ("," NAME)* ")"
+/// e.g. "R1(A,B,C), R2(D,E,F), R3(A,D), R4(B,E), R5(C,F)" is the box join.
+/// Whitespace is insignificant. Names are [A-Za-z0-9_]+.
+
+#ifndef COVERPACK_QUERY_PARSER_H_
+#define COVERPACK_QUERY_PARSER_H_
+
+#include <string>
+
+#include "query/hypergraph.h"
+
+namespace coverpack {
+
+/// Parses the DSL; aborts with a message on malformed input (queries are
+/// compiled-in constants in this library, so a malformed query is a bug).
+Hypergraph ParseQuery(const std::string& text);
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_QUERY_PARSER_H_

@@ -1,0 +1,261 @@
+#include "query/properties.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace coverpack {
+
+namespace {
+
+/// Mutable view of the query used by the GYO fixpoint: pairs of
+/// (original edge id, remaining attribute set).
+using LiveEdges = std::vector<std::pair<EdgeId, AttrSet>>;
+
+/// Applies one GYO rule if possible; returns false at fixpoint.
+bool GyoStepOnce(LiveEdges* edges, std::vector<GyoStep>* steps) {
+  // Rule 2 first (cheap, and it keeps rule 1 simple): remove an edge whose
+  // attributes are contained in another live edge. Empty edges count.
+  for (size_t i = 0; i < edges->size(); ++i) {
+    for (size_t j = 0; j < edges->size(); ++j) {
+      if (i == j) continue;
+      if ((*edges)[i].second.IsSubsetOf((*edges)[j].second)) {
+        steps->push_back(GyoStep{GyoStep::kRemoveSubsumedEdge, /*attr=*/0,
+                                 (*edges)[i].first, (*edges)[j].first});
+        edges->erase(edges->begin() + static_cast<long>(i));
+        return true;
+      }
+    }
+  }
+  // Single empty edge left: the query is fully reduced away.
+  if (edges->size() == 1 && (*edges)[0].second.empty()) {
+    steps->push_back(
+        GyoStep{GyoStep::kRemoveSubsumedEdge, /*attr=*/0, (*edges)[0].first, (*edges)[0].first});
+    edges->clear();
+    return true;
+  }
+  // Rule 1: remove an attribute that appears in exactly one edge.
+  for (size_t i = 0; i < edges->size(); ++i) {
+    for (AttrId v : (*edges)[i].second.ToVector()) {
+      bool unique = true;
+      for (size_t j = 0; j < edges->size(); ++j) {
+        if (j != i && (*edges)[j].second.Contains(v)) {
+          unique = false;
+          break;
+        }
+      }
+      if (unique) {
+        steps->push_back(GyoStep{GyoStep::kRemoveUniqueAttr, v, (*edges)[i].first, 0});
+        (*edges)[i].second.Remove(v);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+GyoResult GyoReduce(const Hypergraph& query) {
+  LiveEdges edges;
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    edges.emplace_back(e, query.edge(e).attrs);
+  }
+  GyoResult result;
+  while (GyoStepOnce(&edges, &result.steps)) {
+  }
+  result.acyclic = edges.empty();
+  return result;
+}
+
+bool IsAlphaAcyclic(const Hypergraph& query) { return GyoReduce(query).acyclic; }
+
+bool IsBergeAcyclic(const Hypergraph& query) {
+  // The incidence bipartite graph is a forest iff in every connected
+  // component: (#incidences) == (#attr vertices) + (#edge vertices) - 1.
+  // We check globally per component via union-find over attr/edge nodes.
+  uint32_t num_attrs = query.num_attrs();
+  uint32_t num_edges = query.num_edges();
+  std::vector<uint32_t> parent(num_attrs + num_edges);
+  for (uint32_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    for (AttrId v : query.edge(e).attrs.ToVector()) {
+      uint32_t root_attr = find(v);
+      uint32_t root_edge = find(num_attrs + e);
+      if (root_attr == root_edge) return false;  // incidence closes a cycle
+      parent[root_attr] = root_edge;
+    }
+  }
+  return true;
+}
+
+bool IsTreeJoin(const Hypergraph& query) {
+  for (const auto& edge : query.edges()) {
+    if (edge.attrs.size() > 2) return false;
+  }
+  return IsAlphaAcyclic(query);
+}
+
+bool IsPathJoin(const Hypergraph& query) {
+  if (!IsTreeJoin(query)) return false;
+  uint32_t m = query.num_edges();
+  if (m <= 1) return true;
+  // Count relation adjacencies (shared attributes).
+  std::vector<uint32_t> degree(m, 0);
+  uint32_t adjacency_count = 0;
+  for (uint32_t i = 0; i < m; ++i) {
+    for (uint32_t j = i + 1; j < m; ++j) {
+      if (query.edge(i).attrs.Intersects(query.edge(j).attrs)) {
+        ++degree[i];
+        ++degree[j];
+        ++adjacency_count;
+      }
+    }
+  }
+  // A simple path on m nodes has m-1 adjacencies, two endpoints of degree 1
+  // and the rest of degree 2; combined with connectivity this is exact.
+  if (adjacency_count != m - 1) return false;
+  uint32_t endpoints = 0;
+  for (uint32_t deg : degree) {
+    if (deg == 0 || deg > 2) return false;
+    if (deg == 1) ++endpoints;
+  }
+  if (endpoints != 2) return false;
+  return query.ConnectedComponents().size() == 1;
+}
+
+bool IsHierarchical(const Hypergraph& query) {
+  std::vector<AttrId> attrs = query.AllAttrs().ToVector();
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    for (size_t j = i + 1; j < attrs.size(); ++j) {
+      EdgeSet ex = query.EdgesContaining(attrs[i]);
+      EdgeSet ey = query.EdgesContaining(attrs[j]);
+      if (!ex.IsSubsetOf(ey) && !ey.IsSubsetOf(ex) && ex.Intersects(ey)) return false;
+    }
+  }
+  return true;
+}
+
+bool IsRHierarchical(const Hypergraph& query) { return IsHierarchical(Reduce(query)); }
+
+bool IsLoomisWhitney(const Hypergraph& query) {
+  AttrSet all = query.AllAttrs();
+  uint32_t n = all.size();
+  if (query.num_edges() != n || n < 3) return false;
+  std::vector<AttrSet> expected;
+  for (AttrId v : all.ToVector()) {
+    expected.push_back(all.Minus(AttrSet::Single(v)));
+  }
+  std::vector<AttrSet> actual;
+  for (const auto& edge : query.edges()) actual.push_back(edge.attrs);
+  auto by_bits = [](AttrSet a, AttrSet b) { return a.bits() < b.bits(); };
+  std::sort(expected.begin(), expected.end(), by_bits);
+  std::sort(actual.begin(), actual.end(), by_bits);
+  return expected == actual;
+}
+
+bool IsDegreeTwo(const Hypergraph& query) {
+  for (AttrId v : query.AllAttrs().ToVector()) {
+    if (query.AttrDegree(v) != 2) return false;
+  }
+  return true;
+}
+
+bool DegreeTwoHasNoOddCycle(const Hypergraph& query) {
+  CP_CHECK(IsDegreeTwo(query));
+  // The dual graph has relations as vertices and one edge per attribute;
+  // "no odd cycle" is bipartiteness, tested by BFS two-coloring.
+  uint32_t m = query.num_edges();
+  std::vector<std::vector<uint32_t>> adjacency(m);
+  for (AttrId v : query.AllAttrs().ToVector()) {
+    std::vector<EdgeId> pair = query.EdgesContaining(v).ToVector();
+    CP_CHECK_EQ(pair.size(), 2u);
+    adjacency[pair[0]].push_back(pair[1]);
+    adjacency[pair[1]].push_back(pair[0]);
+  }
+  std::vector<int> color(m, -1);
+  for (uint32_t start = 0; start < m; ++start) {
+    if (color[start] != -1) continue;
+    color[start] = 0;
+    std::vector<uint32_t> queue{start};
+    while (!queue.empty()) {
+      uint32_t u = queue.back();
+      queue.pop_back();
+      for (uint32_t w : adjacency[u]) {
+        if (color[w] == -1) {
+          color[w] = 1 - color[u];
+          queue.push_back(w);
+        } else if (color[w] == color[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+IntegralEdgeCover MinimumIntegralEdgeCover(const Hypergraph& query) {
+  AttrSet all = query.AllAttrs();
+  IntegralEdgeCover best;
+  best.size = query.num_edges() + 1;
+  for (SubsetIterator it(query.AllEdges()); !it.Done(); it.Next()) {
+    EdgeSet candidate = it.Current();
+    if (candidate.size() >= best.size) continue;
+    if (query.AttrsOf(candidate) == all) {
+      best.edges = candidate;
+      best.size = candidate.size();
+    }
+  }
+  CP_CHECK_LE(best.size, query.num_edges()) << "full edge set always covers";
+  return best;
+}
+
+Hypergraph Reduce(const Hypergraph& query) {
+  EdgeSet kept = query.AllEdges();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<EdgeId> live = kept.ToVector();
+    for (EdgeId i : live) {
+      for (EdgeId j : live) {
+        if (i == j || !kept.Contains(i) || !kept.Contains(j)) continue;
+        if (query.edge(i).attrs.IsSubsetOf(query.edge(j).attrs)) {
+          kept.Remove(i);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return query.InducedByEdges(kept);
+}
+
+std::string ClassificationString(const Hypergraph& query) {
+  std::ostringstream oss;
+  bool alpha = IsAlphaAcyclic(query);
+  oss << (alpha ? "alpha-acyclic" : "cyclic");
+  if (IsBergeAcyclic(query)) oss << ", berge-acyclic";
+  if (IsTreeJoin(query)) oss << ", tree";
+  if (IsPathJoin(query)) oss << ", path";
+  if (IsRHierarchical(query)) oss << ", r-hierarchical";
+  if (IsLoomisWhitney(query)) oss << ", loomis-whitney";
+  if (IsDegreeTwo(query)) {
+    oss << ", degree-two";
+    if (DegreeTwoHasNoOddCycle(query)) {
+      oss << " (no odd cycle)";
+    } else {
+      oss << " (odd cycle)";
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace coverpack

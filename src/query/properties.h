@@ -1,0 +1,97 @@
+/// \file properties.h
+/// \brief Structural classification of join queries (Figure 1 of the paper).
+///
+/// Implements alpha-acyclicity via GYO reduction (Appendix A.1),
+/// Berge-acyclicity via the incidence bipartite graph (Appendix A.2), and
+/// the sub-classes named in the paper: path joins, tree joins,
+/// r-hierarchical joins, Loomis-Whitney joins, and degree-two joins.
+
+#ifndef COVERPACK_QUERY_PROPERTIES_H_
+#define COVERPACK_QUERY_PROPERTIES_H_
+
+#include <string>
+#include <vector>
+
+#include "query/hypergraph.h"
+
+namespace coverpack {
+
+/// One step of the GYO trace, for tests and for building join trees.
+struct GyoStep {
+  enum Kind {
+    kRemoveUniqueAttr,  ///< attribute appeared in a single edge
+    kRemoveSubsumedEdge ///< edge contained in another edge
+  };
+  Kind kind;
+  AttrId attr = 0;       ///< for kRemoveUniqueAttr
+  EdgeId edge = 0;       ///< edge acted upon (id in the ORIGINAL query)
+  EdgeId container = 0;  ///< for kRemoveSubsumedEdge: the containing edge
+};
+
+/// Result of running the GYO reduction to fixpoint.
+struct GyoResult {
+  bool acyclic = false;        ///< true iff the reduction emptied the query
+  std::vector<GyoStep> steps;  ///< the applied reduction steps, in order
+};
+
+/// Runs the GYO reduction (Appendix A.1). Deterministic: always applies the
+/// lowest-numbered applicable rule/edge first.
+GyoResult GyoReduce(const Hypergraph& query);
+
+/// True iff the query is alpha-acyclic.
+bool IsAlphaAcyclic(const Hypergraph& query);
+
+/// True iff the query is Berge-acyclic: the attribute/relation incidence
+/// bipartite graph is a forest. Treats attributes that always co-occur as
+/// distinct (the strict definition), so two relations sharing two
+/// attributes are Berge-cyclic.
+bool IsBergeAcyclic(const Hypergraph& query);
+
+/// True iff every relation has at most two attributes and the query is
+/// alpha-acyclic (a "tree join", footnote 7).
+bool IsTreeJoin(const Hypergraph& query);
+
+/// True iff the query is a tree join whose relations form a single simple
+/// path (a "path join").
+bool IsPathJoin(const Hypergraph& query);
+
+/// True iff the query is hierarchical: for any two attributes x, y the
+/// edge sets E_x, E_y are nested or disjoint.
+bool IsHierarchical(const Hypergraph& query);
+
+/// True iff the query becomes hierarchical after removing relations that
+/// are contained in other relations ("r-hierarchical" of [15]).
+bool IsRHierarchical(const Hypergraph& query);
+
+/// True iff E = { V - {x} : x in V } (Loomis-Whitney join).
+bool IsLoomisWhitney(const Hypergraph& query);
+
+/// True iff every attribute appears in exactly two relations (degree-two
+/// join, Section 5.2).
+bool IsDegreeTwo(const Hypergraph& query);
+
+/// For a degree-two join: true iff its dual graph (relations as vertices,
+/// one edge per shared attribute) has no odd cycle, i.e. is bipartite.
+/// Precondition: IsDegreeTwo(query).
+bool DegreeTwoHasNoOddCycle(const Hypergraph& query);
+
+/// Smallest *integral* edge cover, found by exhaustive subset search
+/// (queries are constant-size). For alpha-acyclic queries its size always
+/// matches rho* (Lemma A.2).
+struct IntegralEdgeCover {
+  EdgeSet edges;
+  uint32_t size = 0;
+};
+IntegralEdgeCover MinimumIntegralEdgeCover(const Hypergraph& query);
+
+/// Removes subsumed edges (e contained in e') until the query is reduced.
+/// Deterministic; keeps the lexicographically-first containing edge.
+Hypergraph Reduce(const Hypergraph& query);
+
+/// Human-readable classification summary, e.g.
+/// "alpha-acyclic, berge-acyclic, tree, path".
+std::string ClassificationString(const Hypergraph& query);
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_QUERY_PROPERTIES_H_

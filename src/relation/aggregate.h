@@ -1,0 +1,80 @@
+/// \file aggregate.h
+/// \brief Join-aggregate queries over annotated relations (Appendix A.5).
+///
+/// Every tuple carries an annotation from a commutative semiring
+/// (S, combine, multiply). A join result's annotation is the product of
+/// its constituent tuples'; the query groups results by the output
+/// attributes y and combines each group's annotations. COUNT(*) GROUP BY y
+/// is the (add, multiply) instance with all-1 annotations — exactly what
+/// Section 3.2 uses to compute the subjoin statistics |subjoin(T,R,S)|.
+///
+/// Free-connex queries (the class evaluable in O(N) + output time) are
+/// recognized with the classical criterion: Q with output y is free-connex
+/// iff the hypergraph Q plus a virtual hyperedge covering exactly y is
+/// alpha-acyclic; evaluation then runs Yannakakis-style message passing on
+/// a join tree of the extended query rooted at the virtual edge.
+
+#ifndef COVERPACK_RELATION_AGGREGATE_H_
+#define COVERPACK_RELATION_AGGREGATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "query/hypergraph.h"
+#include "relation/instance.h"
+
+namespace coverpack {
+
+/// A commutative semiring over uint64 annotations.
+struct Semiring {
+  std::function<uint64_t(uint64_t, uint64_t)> combine;   ///< group aggregation
+  uint64_t combine_identity;
+  std::function<uint64_t(uint64_t, uint64_t)> multiply;  ///< join composition
+  uint64_t multiply_identity;
+};
+
+/// (add, multiply) with saturation: COUNT/SUM-style aggregation.
+Semiring CountingSemiring();
+
+/// (min, add) tropical semiring: lightest join result per group.
+Semiring TropicalSemiring();
+
+/// Per-relation annotations; weights[e][i] annotates row i of relation e.
+using Annotations = std::vector<std::vector<uint64_t>>;
+
+/// All-1 annotations for an instance (the COUNT query).
+Annotations UnitAnnotations(const Instance& instance);
+
+/// Aggregated output: one row of `keys` (schema = the output attributes)
+/// per group, with its combined annotation in `values`.
+struct AggregateResult {
+  Relation keys;
+  std::vector<uint64_t> values;
+};
+
+/// True iff the query with output attributes y is free-connex acyclic:
+/// Q plus a virtual edge over y is alpha-acyclic. (For y = all attributes
+/// this reduces to plain alpha-acyclicity; for y = empty, too.)
+bool IsFreeConnex(const Hypergraph& query, AttrSet output_attrs);
+
+/// Evaluates the join-aggregate query by message passing over a join tree
+/// of the extended hypergraph. Requires IsFreeConnex(query, output_attrs);
+/// aborts otherwise. Runs in O(input log input + output).
+AggregateResult JoinAggregate(const Hypergraph& query, const Instance& instance,
+                              const Annotations& annotations, AttrSet output_attrs,
+                              const Semiring& semiring);
+
+/// Scalar aggregate (y = empty): e.g. |Q(R)| under the counting semiring.
+uint64_t JoinAggregateScalar(const Hypergraph& query, const Instance& instance,
+                             const Annotations& annotations, const Semiring& semiring);
+
+/// Reference implementation: materialize the join, group, combine.
+/// Exponential-size safe only for test instances.
+AggregateResult JoinAggregateBruteForce(const Hypergraph& query, const Instance& instance,
+                                        const Annotations& annotations, AttrSet output_attrs,
+                                        const Semiring& semiring);
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_RELATION_AGGREGATE_H_

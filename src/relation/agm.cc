@@ -1,0 +1,42 @@
+#include "relation/agm.h"
+
+#include <cmath>
+
+#include "lp/covers.h"
+#include "lp/simplex.h"
+#include "util/logging.h"
+
+namespace coverpack {
+
+double AgmBound(const Hypergraph& query, const Instance& instance) {
+  instance.CheckAgainst(query);
+  // Minimize sum_e f(e) * log2|R(e)| subject to cover constraints, with
+  // log2 sizes rationalized at denominator 2^16.
+  constexpr int64_t kScale = 1 << 16;
+  LinearProgram lp(query.num_edges());
+  for (AttrId v : query.AllAttrs().ToVector()) {
+    std::vector<Rational> row(query.num_edges(), Rational(0));
+    for (uint32_t e = 0; e < query.num_edges(); ++e) {
+      if (query.edge(e).attrs.Contains(v)) row[e] = Rational(1);
+    }
+    lp.AddGeq(row, Rational(1));
+  }
+  std::vector<Rational> objective(query.num_edges());
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    size_t size = instance[e].size();
+    if (size == 0) return 0.0;  // empty relation, empty join
+    double log_size = std::log2(static_cast<double>(size));
+    objective[e] = Rational(static_cast<int64_t>(std::llround(log_size * kScale)), kScale);
+  }
+  lp.SetObjective(objective);
+  LpResult result = lp.Minimize();
+  CP_CHECK(result.status == LpStatus::kOptimal);
+  return std::exp2(result.objective.ToDouble());
+}
+
+double AgmBoundUniform(const Hypergraph& query, uint64_t n) {
+  Rational rho = RhoStar(query);
+  return std::pow(static_cast<double>(n), rho.ToDouble());
+}
+
+}  // namespace coverpack

@@ -1,0 +1,29 @@
+/// \file agm.h
+/// \brief The AGM bound on join output size.
+///
+/// The maximum output size of a join is bounded by min over fractional edge
+/// covers f of prod_e |R(e)|^{f(e)} [4]; for uniform relation sizes N this
+/// is N^{rho*}. Used by the benches to report how close hard instances come
+/// to their worst case and by the counting-argument lower bound calculator.
+
+#ifndef COVERPACK_RELATION_AGM_H_
+#define COVERPACK_RELATION_AGM_H_
+
+#include "query/hypergraph.h"
+#include "relation/instance.h"
+#include "util/rational.h"
+
+namespace coverpack {
+
+/// The AGM bound for this instance, as a double (exact optimization is over
+/// log-space weights; we rationalize logs at denominator 2^16 so the result
+/// is accurate to well under a percent).
+double AgmBound(const Hypergraph& query, const Instance& instance);
+
+/// The AGM bound when every relation has exactly N tuples: N^{rho*}.
+/// Returned as a double; exponents stay exact internally.
+double AgmBoundUniform(const Hypergraph& query, uint64_t n);
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_RELATION_AGM_H_

@@ -1,0 +1,59 @@
+/// \file instance.h
+/// \brief A database instance of a join query: one Relation per hyperedge.
+
+#ifndef COVERPACK_RELATION_INSTANCE_H_
+#define COVERPACK_RELATION_INSTANCE_H_
+
+#include <vector>
+
+#include "query/hypergraph.h"
+#include "relation/relation.h"
+
+namespace coverpack {
+
+/// The input database for a query: relations indexed by EdgeId, each with a
+/// schema equal to the corresponding hyperedge.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Creates empty relations matching the query's edge schemas.
+  explicit Instance(const Hypergraph& query) {
+    relations_.reserve(query.num_edges());
+    for (const auto& edge : query.edges()) relations_.emplace_back(edge.attrs);
+  }
+
+  size_t num_relations() const { return relations_.size(); }
+  Relation& operator[](EdgeId e) { return relations_[e]; }
+  const Relation& operator[](EdgeId e) const { return relations_[e]; }
+
+  /// Maximum relation size (the paper's N).
+  size_t MaxRelationSize() const {
+    size_t n = 0;
+    for (const auto& r : relations_) n = std::max(n, r.size());
+    return n;
+  }
+
+  /// Total number of input tuples.
+  size_t TotalSize() const {
+    size_t n = 0;
+    for (const auto& r : relations_) n += r.size();
+    return n;
+  }
+
+  /// Checks schemas against the query; aborts on mismatch (programming bug).
+  void CheckAgainst(const Hypergraph& query) const {
+    CP_CHECK_EQ(relations_.size(), query.num_edges());
+    for (size_t e = 0; e < relations_.size(); ++e) {
+      CP_CHECK(relations_[e].attrs() == query.edge(static_cast<EdgeId>(e)).attrs)
+          << "schema mismatch on edge " << query.edge(static_cast<EdgeId>(e)).name;
+    }
+  }
+
+ private:
+  std::vector<Relation> relations_;
+};
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_RELATION_INSTANCE_H_

@@ -1,0 +1,100 @@
+#include "relation/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace coverpack {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream stream(line);
+  while (std::getline(stream, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+}  // namespace
+
+void WriteCsv(std::ostream& os, const Hypergraph& query, const Relation& relation) {
+  std::vector<AttrId> attrs = relation.attrs().ToVector();
+  for (size_t c = 0; c < attrs.size(); ++c) {
+    if (c) os << ",";
+    os << query.attr_name(attrs[c]);
+  }
+  os << "\n";
+  for (size_t i = 0; i < relation.size(); ++i) {
+    auto row = relation.row(i);
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  }
+}
+
+Relation ReadCsv(std::istream& is, const Hypergraph& query, AttrSet expected_attrs) {
+  std::string header;
+  CP_CHECK(static_cast<bool>(std::getline(is, header))) << "missing CSV header";
+  std::vector<std::string> names = SplitCsvLine(header);
+  CP_CHECK_EQ(names.size(), expected_attrs.size()) << "CSV header arity mismatch";
+
+  // Map file columns to attribute ids, then to row positions.
+  std::vector<AttrId> file_attr(names.size());
+  AttrSet seen;
+  for (size_t c = 0; c < names.size(); ++c) {
+    auto attr = query.FindAttribute(names[c]);
+    CP_CHECK(attr.has_value()) << "unknown attribute " << names[c];
+    CP_CHECK(expected_attrs.Contains(*attr)) << "unexpected attribute " << names[c];
+    CP_CHECK(!seen.Contains(*attr)) << "duplicate attribute " << names[c];
+    seen.Insert(*attr);
+    file_attr[c] = *attr;
+  }
+
+  Relation relation(expected_attrs);
+  std::vector<uint32_t> position(names.size());
+  for (size_t c = 0; c < names.size(); ++c) position[c] = relation.ColumnOf(file_attr[c]);
+
+  std::string line;
+  std::vector<Value> row(names.size());
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells = SplitCsvLine(line);
+    CP_CHECK_EQ(cells.size(), names.size()) << "row arity mismatch: " << line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      row[position[c]] = std::strtoull(cells[c].c_str(), nullptr, 10);
+    }
+    relation.AppendRow(std::span<const Value>(row));
+  }
+  return relation;
+}
+
+size_t SaveInstance(const std::string& directory, const Hypergraph& query,
+                    const Instance& instance) {
+  instance.CheckAgainst(query);
+  size_t written = 0;
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    std::string path = directory + "/" + query.edge(e).name + ".csv";
+    std::ofstream file(path);
+    CP_CHECK(file.good()) << "cannot open " << path;
+    WriteCsv(file, query, instance[e]);
+    ++written;
+  }
+  return written;
+}
+
+Instance LoadInstance(const std::string& directory, const Hypergraph& query) {
+  Instance instance(query);
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    std::string path = directory + "/" + query.edge(e).name + ".csv";
+    std::ifstream file(path);
+    CP_CHECK(file.good()) << "cannot open " << path;
+    instance[e] = ReadCsv(file, query, query.edge(e).attrs);
+  }
+  return instance;
+}
+
+}  // namespace coverpack

@@ -1,0 +1,39 @@
+/// \file io.h
+/// \brief Plain-text (CSV) serialization of relations and instances.
+///
+/// Format: one header line naming the attributes (matching the query's
+/// attribute names, in ascending AttrId order), then one comma-separated
+/// row of unsigned integers per tuple. Instances are stored as one file
+/// per relation named `<relation>.csv` under a directory.
+
+#ifndef COVERPACK_RELATION_IO_H_
+#define COVERPACK_RELATION_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "query/hypergraph.h"
+#include "relation/instance.h"
+
+namespace coverpack {
+
+/// Writes the relation as CSV with attribute names from `query`.
+void WriteCsv(std::ostream& os, const Hypergraph& query, const Relation& relation);
+
+/// Reads a CSV produced by WriteCsv. The header attributes must exist in
+/// `query` and exactly match `expected_attrs` (any order in the header;
+/// values are reordered into ascending-AttrId row layout). Aborts on
+/// malformed input (files are produced by this library).
+Relation ReadCsv(std::istream& is, const Hypergraph& query, AttrSet expected_attrs);
+
+/// Saves every relation of the instance to `<directory>/<name>.csv`.
+/// The directory must exist. Returns the number of files written.
+size_t SaveInstance(const std::string& directory, const Hypergraph& query,
+                    const Instance& instance);
+
+/// Loads an instance previously written by SaveInstance.
+Instance LoadInstance(const std::string& directory, const Hypergraph& query);
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_RELATION_IO_H_

@@ -1,0 +1,211 @@
+#include "relation/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace coverpack {
+
+namespace {
+
+/// Hashes the projection of a row onto `key_cols`.
+uint64_t HashKey(std::span<const Value> row, const std::vector<uint32_t>& key_cols) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (uint32_t col : key_cols) h = HashCombine(h, row[col]);
+  return h;
+}
+
+bool KeysEqual(std::span<const Value> a, const std::vector<uint32_t>& a_cols,
+               std::span<const Value> b, const std::vector<uint32_t>& b_cols) {
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    if (a[a_cols[i]] != b[b_cols[i]]) return false;
+  }
+  return true;
+}
+
+std::vector<uint32_t> ColumnsOf(const Relation& relation, AttrSet attrs) {
+  std::vector<uint32_t> cols;
+  for (AttrId attr : attrs.ToVector()) cols.push_back(relation.ColumnOf(attr));
+  return cols;
+}
+
+}  // namespace
+
+Relation Select(const Relation& input, AttrId attr, Value value) {
+  Relation output(input.attrs());
+  uint32_t col = input.ColumnOf(attr);
+  for (size_t i = 0; i < input.size(); ++i) {
+    auto row = input.row(i);
+    if (row[col] == value) output.AppendRow(row);
+  }
+  return output;
+}
+
+Relation SelectIn(const Relation& input, AttrId attr, const std::vector<Value>& sorted_values) {
+  Relation output(input.attrs());
+  uint32_t col = input.ColumnOf(attr);
+  for (size_t i = 0; i < input.size(); ++i) {
+    auto row = input.row(i);
+    if (std::binary_search(sorted_values.begin(), sorted_values.end(), row[col])) {
+      output.AppendRow(row);
+    }
+  }
+  return output;
+}
+
+Relation Project(const Relation& input, AttrSet attrs) {
+  CP_CHECK(attrs.IsSubsetOf(input.attrs()));
+  Relation output(attrs);
+  std::vector<uint32_t> cols = ColumnsOf(input, attrs);
+  std::vector<Value> buffer(cols.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    auto row = input.row(i);
+    for (size_t j = 0; j < cols.size(); ++j) buffer[j] = row[cols[j]];
+    output.AppendRow(std::span<const Value>(buffer));
+  }
+  output.Dedup();
+  return output;
+}
+
+std::vector<Value> DistinctValues(const Relation& input, AttrId attr) {
+  std::vector<Value> values;
+  uint32_t col = input.ColumnOf(attr);
+  values.reserve(input.size());
+  for (size_t i = 0; i < input.size(); ++i) values.push_back(input.row(i)[col]);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+Relation SemiJoin(const Relation& left, const Relation& right) {
+  AttrSet shared = left.attrs().Intersect(right.attrs());
+  if (shared.empty()) {
+    return right.empty() ? Relation(left.attrs()) : left;
+  }
+  std::vector<uint32_t> left_cols = ColumnsOf(left, shared);
+  std::vector<uint32_t> right_cols = ColumnsOf(right, shared);
+
+  // Build a hash set of the right side's shared-attribute projections.
+  std::unordered_map<uint64_t, std::vector<size_t>> index;
+  for (size_t i = 0; i < right.size(); ++i) {
+    index[HashKey(right.row(i), right_cols)].push_back(i);
+  }
+  Relation output(left.attrs());
+  for (size_t i = 0; i < left.size(); ++i) {
+    auto row = left.row(i);
+    auto it = index.find(HashKey(row, left_cols));
+    if (it == index.end()) continue;
+    for (size_t j : it->second) {
+      if (KeysEqual(row, left_cols, right.row(j), right_cols)) {
+        output.AppendRow(row);
+        break;
+      }
+    }
+  }
+  return output;
+}
+
+Relation HashJoin(const Relation& left, const Relation& right) {
+  AttrSet shared = left.attrs().Intersect(right.attrs());
+  AttrSet out_attrs = left.attrs().Union(right.attrs());
+  Relation output(out_attrs);
+
+  std::vector<uint32_t> left_cols = ColumnsOf(left, shared);
+  std::vector<uint32_t> right_cols = ColumnsOf(right, shared);
+
+  std::unordered_map<uint64_t, std::vector<size_t>> index;
+  for (size_t i = 0; i < right.size(); ++i) {
+    index[HashKey(right.row(i), right_cols)].push_back(i);
+  }
+
+  // Output column plan: for each output attribute, where to read it from.
+  struct Source {
+    bool from_left;
+    uint32_t col;
+  };
+  std::vector<Source> plan;
+  for (AttrId attr : out_attrs.ToVector()) {
+    if (left.attrs().Contains(attr)) {
+      plan.push_back({true, left.ColumnOf(attr)});
+    } else {
+      plan.push_back({false, right.ColumnOf(attr)});
+    }
+  }
+
+  std::vector<Value> buffer(plan.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    auto lrow = left.row(i);
+    auto it = index.find(HashKey(lrow, left_cols));
+    if (it == index.end()) continue;
+    for (size_t j : it->second) {
+      auto rrow = right.row(j);
+      if (!KeysEqual(lrow, left_cols, rrow, right_cols)) continue;
+      for (size_t k = 0; k < plan.size(); ++k) {
+        buffer[k] = plan[k].from_left ? lrow[plan[k].col] : rrow[plan[k].col];
+      }
+      output.AppendRow(std::span<const Value>(buffer));
+    }
+  }
+  return output;
+}
+
+Relation MultiwayJoin(const std::vector<const Relation*>& inputs) {
+  CP_CHECK(!inputs.empty());
+  std::vector<const Relation*> ordered = inputs;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Relation* a, const Relation* b) { return a->size() < b->size(); });
+  Relation result = *ordered[0];
+  for (size_t i = 1; i < ordered.size(); ++i) {
+    result = HashJoin(result, *ordered[i]);
+    if (result.empty()) break;
+  }
+  return result;
+}
+
+Relation AttachConstant(const Relation& input, AttrId attr, Value value) {
+  CP_CHECK(!input.attrs().Contains(attr));
+  AttrSet out_attrs = input.attrs().Union(AttrSet::Single(attr));
+  Relation output(out_attrs);
+  output.Reserve(input.size());
+  uint32_t insert_at = output.ColumnOf(attr);
+  std::vector<Value> buffer(output.width());
+  for (size_t i = 0; i < input.size(); ++i) {
+    auto row = input.row(i);
+    for (uint32_t c = 0; c < insert_at; ++c) buffer[c] = row[c];
+    buffer[insert_at] = value;
+    for (uint32_t c = insert_at; c < input.width(); ++c) buffer[c + 1] = row[c];
+    output.AppendRow(std::span<const Value>(buffer));
+  }
+  return output;
+}
+
+Relation DropColumn(const Relation& input, AttrId attr) {
+  CP_CHECK(input.attrs().Contains(attr));
+  AttrSet out_attrs = input.attrs().Minus(AttrSet::Single(attr));
+  Relation output(out_attrs);
+  output.Reserve(input.size());
+  uint32_t drop_at = input.ColumnOf(attr);
+  std::vector<Value> buffer(output.width());
+  for (size_t i = 0; i < input.size(); ++i) {
+    auto row = input.row(i);
+    uint32_t w = 0;
+    for (uint32_t c = 0; c < input.width(); ++c) {
+      if (c != drop_at) buffer[w++] = row[c];
+    }
+    output.AppendRow(std::span<const Value>(buffer));
+  }
+  return output;
+}
+
+std::vector<std::pair<Value, uint64_t>> DegreeHistogram(const Relation& input, AttrId attr) {
+  std::unordered_map<Value, uint64_t> counts;
+  uint32_t col = input.ColumnOf(attr);
+  for (size_t i = 0; i < input.size(); ++i) ++counts[input.row(i)[col]];
+  std::vector<std::pair<Value, uint64_t>> histogram(counts.begin(), counts.end());
+  std::sort(histogram.begin(), histogram.end());
+  return histogram;
+}
+
+}  // namespace coverpack

@@ -1,0 +1,58 @@
+/// \file operators.h
+/// \brief Local (single-machine) relational operators.
+///
+/// These are the building blocks the MPC servers run between communication
+/// rounds: selection, projection, semi-join, binary hash join, and a
+/// multiway join used to combine co-located fragments at emission time.
+
+#ifndef COVERPACK_RELATION_OPERATORS_H_
+#define COVERPACK_RELATION_OPERATORS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace coverpack {
+
+/// sigma_{attr = value}(input).
+Relation Select(const Relation& input, AttrId attr, Value value);
+
+/// sigma_{attr in values}(input); `values` should be sorted (binary search).
+Relation SelectIn(const Relation& input, AttrId attr, const std::vector<Value>& sorted_values);
+
+/// pi_{attrs}(input) with duplicate elimination (set semantics).
+Relation Project(const Relation& input, AttrSet attrs);
+
+/// Distinct values of a single attribute.
+std::vector<Value> DistinctValues(const Relation& input, AttrId attr);
+
+/// Semi-join: tuples of `left` that agree with at least one tuple of
+/// `right` on their shared attributes. If the schemas are disjoint,
+/// returns `left` when `right` is nonempty and empty otherwise.
+Relation SemiJoin(const Relation& left, const Relation& right);
+
+/// Natural (hash) join of two relations.
+Relation HashJoin(const Relation& left, const Relation& right);
+
+/// Natural join of any number of co-located relations, evaluated as a
+/// left-deep sequence of hash joins in ascending size order. Intended for
+/// emission-time combination of small fragments; not worst-case optimal.
+Relation MultiwayJoin(const std::vector<const Relation*>& inputs);
+
+/// Adds a constant column `attr = value` to every row (attr must not be in
+/// the schema). Used to re-attach a heavy assignment x = a to the results
+/// of the residual query Q_x.
+Relation AttachConstant(const Relation& input, AttrId attr, Value value);
+
+/// Drops one column from the schema without deduplication (rows stay
+/// distinct when the dropped attribute was constant across the relation).
+Relation DropColumn(const Relation& input, AttrId attr);
+
+/// Degree of each value of `attr`: pairs (value, count) sorted by value.
+std::vector<std::pair<Value, uint64_t>> DegreeHistogram(const Relation& input, AttrId attr);
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_RELATION_OPERATORS_H_

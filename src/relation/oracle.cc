@@ -1,0 +1,244 @@
+#include "relation/oracle.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "relation/operators.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace coverpack {
+
+namespace {
+
+/// Backtracking state for GenericJoin: per relation, the row indices still
+/// compatible with the bound attribute prefix.
+struct SearchState {
+  const Hypergraph* query;
+  const Instance* instance;
+  std::vector<AttrId> attr_order;
+  std::vector<std::vector<size_t>> live_rows;  // per edge
+  std::vector<Value> assignment;               // per attr_order position
+  Relation* output;
+};
+
+void Recurse(SearchState* state, size_t depth) {
+  if (depth == state->attr_order.size()) {
+    state->output->AppendRow(std::span<const Value>(state->assignment));
+    return;
+  }
+  AttrId attr = state->attr_order[depth];
+  EdgeSet holders = state->query->EdgesContaining(attr);
+  CP_CHECK(!holders.empty());
+
+  // Candidate values: distinct attr-values of the smallest live relation,
+  // verified against all other holders.
+  std::vector<EdgeId> holder_ids = holders.ToVector();
+  EdgeId smallest = holder_ids[0];
+  for (EdgeId e : holder_ids) {
+    if (state->live_rows[e].size() < state->live_rows[smallest].size()) smallest = e;
+  }
+  const Relation& lead = (*state->instance)[smallest];
+  uint32_t lead_col = lead.ColumnOf(attr);
+  std::vector<Value> candidates;
+  candidates.reserve(state->live_rows[smallest].size());
+  for (size_t i : state->live_rows[smallest]) candidates.push_back(lead.row(i)[lead_col]);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+  for (Value value : candidates) {
+    // Refine every holder; back out if any becomes empty.
+    std::vector<std::pair<EdgeId, std::vector<size_t>>> saved;
+    bool viable = true;
+    for (EdgeId e : holder_ids) {
+      const Relation& r = (*state->instance)[e];
+      uint32_t col = r.ColumnOf(attr);
+      std::vector<size_t> refined;
+      for (size_t i : state->live_rows[e]) {
+        if (r.row(i)[col] == value) refined.push_back(i);
+      }
+      if (refined.empty()) {
+        viable = false;
+      }
+      saved.emplace_back(e, std::move(state->live_rows[e]));
+      state->live_rows[e] = std::move(refined);
+      if (!viable) break;
+    }
+    if (viable) {
+      state->assignment[depth] = value;
+      Recurse(state, depth + 1);
+    }
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+      state->live_rows[it->first] = std::move(it->second);
+    }
+  }
+}
+
+/// Saturating multiply for counts.
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > std::numeric_limits<uint64_t>::max() / b) return std::numeric_limits<uint64_t>::max();
+  return a * b;
+}
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  if (a > std::numeric_limits<uint64_t>::max() - b) return std::numeric_limits<uint64_t>::max();
+  return a + b;
+}
+
+/// Exact composite key of a row projected to `cols` (no hash collisions).
+std::vector<Value> RowKey(std::span<const Value> row, const std::vector<uint32_t>& cols) {
+  std::vector<Value> key;
+  key.reserve(cols.size());
+  for (uint32_t col : cols) key.push_back(row[col]);
+  return key;
+}
+
+struct VectorHash {
+  size_t operator()(const std::vector<Value>& v) const { return HashVector(v); }
+};
+
+}  // namespace
+
+Relation GenericJoin(const Hypergraph& query, const Instance& instance) {
+  instance.CheckAgainst(query);
+  SearchState state;
+  state.query = &query;
+  state.instance = &instance;
+  state.attr_order = query.AllAttrs().ToVector();  // ascending AttrId
+  state.live_rows.resize(query.num_edges());
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    state.live_rows[e].resize(instance[e].size());
+    for (size_t i = 0; i < instance[e].size(); ++i) state.live_rows[e][i] = i;
+  }
+  state.assignment.resize(state.attr_order.size());
+  Relation output(query.AllAttrs());
+  state.output = &output;
+  // An empty relation means an empty join.
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    if (instance[e].empty()) return output;
+  }
+  Recurse(&state, 0);
+  return output;
+}
+
+uint64_t AcyclicJoinCount(const Hypergraph& query, const JoinTree& tree,
+                          const Instance& instance) {
+  instance.CheckAgainst(query);
+  uint32_t m = query.num_edges();
+  CP_CHECK_EQ(tree.num_nodes(), m);
+
+  // Bottom-up order: children before parents.
+  std::vector<uint32_t> order;
+  order.reserve(m);
+  for (uint32_t root : tree.Roots()) {
+    std::vector<uint32_t> stack{root};
+    size_t begin = order.size();
+    while (!stack.empty()) {
+      uint32_t u = stack.back();
+      stack.pop_back();
+      order.push_back(u);
+      for (uint32_t c : tree.children(u)) stack.push_back(c);
+    }
+    std::reverse(order.begin() + static_cast<long>(begin), order.end());
+  }
+
+  // weight[e][i]: number of join extensions of row i of relation e into the
+  // subtree rooted at e.
+  std::vector<std::vector<uint64_t>> weight(m);
+  for (uint32_t e = 0; e < m; ++e) weight[e].assign(instance[e].size(), 1);
+
+  for (uint32_t node : order) {
+    for (uint32_t child : tree.children(node)) {
+      AttrSet shared = query.edge(node).attrs.Intersect(query.edge(child).attrs);
+      const Relation& parent_rel = instance[node];
+      const Relation& child_rel = instance[child];
+      std::vector<uint32_t> parent_cols;
+      std::vector<uint32_t> child_cols;
+      for (AttrId a : shared.ToVector()) {
+        parent_cols.push_back(parent_rel.ColumnOf(a));
+        child_cols.push_back(child_rel.ColumnOf(a));
+      }
+      // Aggregate the child's weights per shared key.
+      std::unordered_map<std::vector<Value>, uint64_t, VectorHash> sums;
+      for (size_t i = 0; i < child_rel.size(); ++i) {
+        auto [it, inserted] = sums.try_emplace(RowKey(child_rel.row(i), child_cols), 0);
+        it->second = SatAdd(it->second, weight[child][i]);
+      }
+      for (size_t i = 0; i < parent_rel.size(); ++i) {
+        auto it = sums.find(RowKey(parent_rel.row(i), parent_cols));
+        uint64_t factor = it == sums.end() ? 0 : it->second;
+        weight[node][i] = SatMul(weight[node][i], factor);
+      }
+    }
+  }
+
+  uint64_t total = 1;
+  for (uint32_t root : tree.Roots()) {
+    uint64_t component = 0;
+    for (uint64_t w : weight[root]) component = SatAdd(component, w);
+    total = SatMul(total, component);
+  }
+  return total;
+}
+
+uint64_t JoinCount(const Hypergraph& query, const Instance& instance) {
+  if (auto tree = JoinTree::Build(query)) {
+    return AcyclicJoinCount(query, *tree, instance);
+  }
+  return GenericJoin(query, instance).size();
+}
+
+uint64_t SubjoinSize(const Hypergraph& query, const JoinTree& tree, const Instance& instance,
+                     EdgeSet s) {
+  if (s.empty()) return 1;
+  uint64_t total = 1;
+  for (EdgeSet component : tree.TreeComponents(s)) {
+    Hypergraph sub = query.InducedByEdges(component);
+    Instance sub_instance(sub);
+    std::vector<EdgeId> members = component.ToVector();
+    for (size_t i = 0; i < members.size(); ++i) {
+      sub_instance[static_cast<EdgeId>(i)] = instance[members[i]];
+    }
+    total = SatMul(total, JoinCount(sub, sub_instance));
+  }
+  return total;
+}
+
+Instance SemiJoinReduce(const Hypergraph& query, const JoinTree& tree,
+                        const Instance& instance) {
+  Instance reduced = instance;
+  uint32_t m = query.num_edges();
+
+  // Top-down order per component; reversed for the upward pass.
+  std::vector<uint32_t> top_down;
+  for (uint32_t root : tree.Roots()) {
+    std::vector<uint32_t> stack{root};
+    while (!stack.empty()) {
+      uint32_t u = stack.back();
+      stack.pop_back();
+      top_down.push_back(u);
+      for (uint32_t c : tree.children(u)) stack.push_back(c);
+    }
+  }
+  CP_CHECK_EQ(top_down.size(), m);
+
+  // Upward: parent := parent semijoin child.
+  for (auto it = top_down.rbegin(); it != top_down.rend(); ++it) {
+    uint32_t node = *it;
+    uint32_t parent = tree.parent(node);
+    if (parent != JoinTree::kNoParent) {
+      reduced[parent] = SemiJoin(reduced[parent], reduced[node]);
+    }
+  }
+  // Downward: child := child semijoin parent.
+  for (uint32_t node : top_down) {
+    for (uint32_t child : tree.children(node)) {
+      reduced[child] = SemiJoin(reduced[child], reduced[node]);
+    }
+  }
+  return reduced;
+}
+
+}  // namespace coverpack

@@ -1,0 +1,78 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace coverpack {
+
+namespace {
+
+/// Sorts the flat row storage lexicographically in place.
+void SortFlatRows(std::vector<Value>* data, uint32_t width) {
+  if (width == 0 || data->empty()) return;
+  size_t rows = data->size() / width;
+  std::vector<size_t> order(rows);
+  for (size_t i = 0; i < rows; ++i) order[i] = i;
+  auto row_less = [&](size_t a, size_t b) {
+    const Value* pa = data->data() + a * width;
+    const Value* pb = data->data() + b * width;
+    return std::lexicographical_compare(pa, pa + width, pb, pb + width);
+  };
+  std::sort(order.begin(), order.end(), row_less);
+  std::vector<Value> sorted;
+  sorted.reserve(data->size());
+  for (size_t i : order) {
+    const Value* p = data->data() + i * width;
+    sorted.insert(sorted.end(), p, p + width);
+  }
+  *data = std::move(sorted);
+}
+
+}  // namespace
+
+void Relation::Dedup() {
+  if (width_ == 0 || data_.empty()) return;
+  SortFlatRows(&data_, width_);
+  size_t rows = data_.size() / width_;
+  size_t write = 1;
+  for (size_t i = 1; i < rows; ++i) {
+    const Value* prev = data_.data() + (write - 1) * width_;
+    const Value* cur = data_.data() + i * width_;
+    if (!std::equal(cur, cur + width_, prev)) {
+      std::copy(cur, cur + width_, data_.data() + write * width_);
+      ++write;
+    }
+  }
+  data_.resize(write * width_);
+}
+
+void Relation::SortRows() { SortFlatRows(&data_, width_); }
+
+bool Relation::SameContentAs(const Relation& other) const {
+  if (attrs_ != other.attrs_) return false;
+  if (size() != other.size()) return false;
+  Relation a = *this;
+  Relation b = other;
+  a.SortRows();
+  b.SortRows();
+  return a.data_ == b.data_;
+}
+
+std::string Relation::ToString(size_t limit) const {
+  std::ostringstream oss;
+  oss << "Relation(attrs=" << attrs_.bits() << ", rows=" << size() << ") {";
+  for (size_t i = 0; i < size() && i < limit; ++i) {
+    oss << (i == 0 ? " " : ", ") << "(";
+    auto r = row(i);
+    for (size_t j = 0; j < r.size(); ++j) {
+      if (j) oss << ",";
+      oss << r[j];
+    }
+    oss << ")";
+  }
+  if (size() > limit) oss << ", ...";
+  oss << " }";
+  return oss.str();
+}
+
+}  // namespace coverpack

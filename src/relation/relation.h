@@ -1,0 +1,89 @@
+/// \file relation.h
+/// \brief Tuples and relations over the attributes of a query.
+///
+/// A tuple is an assignment of a 64-bit value to each attribute of its
+/// schema (Section 1.1). Relations store rows in a flat column-major-free
+/// layout: a row is `width` consecutive values ordered by ascending AttrId,
+/// which makes projections and schema alignment deterministic.
+
+#ifndef COVERPACK_RELATION_RELATION_H_
+#define COVERPACK_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "query/attr_set.h"
+
+namespace coverpack {
+
+/// Attribute values. Domains are dense integer ranges per attribute.
+using Value = uint64_t;
+
+/// A set of tuples over a fixed schema.
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Creates an empty relation over the given attributes.
+  explicit Relation(AttrSet attrs) : attrs_(attrs), width_(attrs.size()) {}
+
+  AttrSet attrs() const { return attrs_; }
+  uint32_t width() const { return width_; }
+  size_t size() const { return width_ == 0 ? (data_.empty() ? 0 : 1) : data_.size() / width_; }
+  bool empty() const { return size() == 0; }
+
+  /// Row access: `width()` values ordered by ascending AttrId.
+  std::span<const Value> row(size_t i) const {
+    return std::span<const Value>(data_.data() + i * width_, width_);
+  }
+
+  /// Appends a row; values must be ordered by ascending AttrId of the schema.
+  void AppendRow(std::span<const Value> values) {
+    CP_DCHECK(values.size() == width_);
+    data_.insert(data_.end(), values.begin(), values.end());
+  }
+
+  void AppendRow(std::initializer_list<Value> values) {
+    AppendRow(std::span<const Value>(values.begin(), values.size()));
+  }
+
+  /// Index of an attribute within a row, i.e. its rank in the schema.
+  /// Precondition: attrs().Contains(attr).
+  uint32_t ColumnOf(AttrId attr) const {
+    CP_DCHECK(attrs_.Contains(attr));
+    return static_cast<uint32_t>(
+        std::popcount(attrs_.bits() & ((uint64_t{1} << attr) - 1)));
+  }
+
+  /// Value of `attr` in row i.
+  Value At(size_t i, AttrId attr) const { return row(i)[ColumnOf(attr)]; }
+
+  void Reserve(size_t rows) { data_.reserve(rows * width_); }
+  void Clear() { data_.clear(); }
+
+  /// Removes duplicate rows (sorts internally).
+  void Dedup();
+
+  /// Sorts rows lexicographically (for canonical comparison in tests).
+  void SortRows();
+
+  /// True if both relations have the same schema and the same row multiset.
+  bool SameContentAs(const Relation& other) const;
+
+  /// Renders up to `limit` rows for debugging.
+  std::string ToString(size_t limit = 20) const;
+
+  const std::vector<Value>& raw() const { return data_; }
+  std::vector<Value>* mutable_raw() { return &data_; }
+
+ private:
+  AttrSet attrs_;
+  uint32_t width_ = 0;
+  std::vector<Value> data_;
+};
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_RELATION_RELATION_H_

@@ -1,0 +1,41 @@
+/// \file hash.h
+/// \brief Hashing helpers for tuples and composite keys.
+
+#ifndef COVERPACK_UTIL_HASH_H_
+#define COVERPACK_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coverpack {
+
+/// A strong 64-bit mix (from MurmurHash3's finalizer).
+inline uint64_t MixHash(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines a hash with a new value (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (MixHash(value) + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2));
+}
+
+/// Hashes a sequence of 64-bit values.
+inline uint64_t HashSpan(const uint64_t* data, size_t count) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < count; ++i) h = HashCombine(h, data[i]);
+  return h;
+}
+
+inline uint64_t HashVector(const std::vector<uint64_t>& values) {
+  return HashSpan(values.data(), values.size());
+}
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_UTIL_HASH_H_

@@ -1,0 +1,63 @@
+/// \file logging.h
+/// \brief Assertion and check macros used throughout the library.
+///
+/// Follows the CHECK/DCHECK idiom: CP_CHECK is always on and aborts with a
+/// message on failure; CP_DCHECK compiles away in NDEBUG builds. Both are
+/// for programming errors (broken invariants), not for data-dependent
+/// conditions, which should surface through Status.
+
+#ifndef COVERPACK_UTIL_LOGGING_H_
+#define COVERPACK_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace coverpack {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " check failed: " << condition << " ";
+  }
+
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace coverpack
+
+#define CP_CHECK(condition)                                            \
+  if (!(condition))                                                    \
+  ::coverpack::internal::FatalLogMessage(__FILE__, __LINE__, #condition)
+
+#define CP_CHECK_EQ(a, b) CP_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CP_CHECK_NE(a, b) CP_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CP_CHECK_LT(a, b) CP_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CP_CHECK_LE(a, b) CP_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CP_CHECK_GT(a, b) CP_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CP_CHECK_GE(a, b) CP_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define CP_DCHECK(condition) \
+  if (false) CP_CHECK(condition)
+#else
+#define CP_DCHECK(condition) CP_CHECK(condition)
+#endif
+
+#endif  // COVERPACK_UTIL_LOGGING_H_

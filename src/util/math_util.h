@@ -1,0 +1,38 @@
+/// \file math_util.h
+/// \brief Small numeric helpers shared by the planner and the benchmarks.
+
+#ifndef COVERPACK_UTIL_MATH_UTIL_H_
+#define COVERPACK_UTIL_MATH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace coverpack {
+
+/// ceil(a / b) for positive integers.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Integer power with saturation at UINT64_MAX.
+uint64_t SaturatingPow(uint64_t base, uint32_t exp);
+
+/// ceil(x^(1/k)) computed by integer binary search (no floating point drift).
+/// k must be >= 1.
+uint64_t CeilNthRoot(uint64_t x, uint32_t k);
+
+/// floor(x^(1/k)) computed by integer binary search. k must be >= 1.
+uint64_t FloorNthRoot(uint64_t x, uint32_t k);
+
+/// Result of a least-squares fit of log(y) = slope * log(x) + intercept.
+struct PowerLawFit {
+  double slope = 0.0;      ///< Fitted exponent.
+  double intercept = 0.0;  ///< Fitted log-constant.
+  double r_squared = 0.0;  ///< Goodness of fit.
+};
+
+/// Fits y ~ C * x^slope on log-log scale. Points with nonpositive
+/// coordinates are skipped; requires at least two usable points.
+PowerLawFit FitPowerLaw(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_UTIL_MATH_UTIL_H_

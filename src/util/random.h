@@ -1,0 +1,74 @@
+/// \file random.h
+/// \brief Deterministic pseudo-random generation for workloads and hard
+/// instances.
+///
+/// All randomized constructions in the paper (the probabilistic relation
+/// R2(D,E,F) of Theorem 6, the probabilistic edges of Theorem 7) are
+/// instantiated from a seeded generator so every experiment is replayable.
+
+#ifndef COVERPACK_UTIL_RANDOM_H_
+#define COVERPACK_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace coverpack {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, and tiny.
+/// Seeded through SplitMix64 so that nearby seeds give unrelated streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// bound must be positive.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability prob (clamped to [0,1]).
+  bool Bernoulli(double prob);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples from a Zipf(skew) distribution over {0, ..., n-1} via the
+/// inverse-CDF table. Used to generate skewed join attributes that defeat
+/// the plain hypercube algorithm.
+class ZipfSampler {
+ public:
+  /// \param n universe size (must be >= 1)
+  /// \param skew Zipf exponent; 0 gives uniform, >=1 is heavily skewed.
+  ZipfSampler(uint64_t n, double skew);
+
+  /// Draws one sample (0-based rank; rank 0 is the most frequent value).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t universe_size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_UTIL_RANDOM_H_

@@ -1,0 +1,93 @@
+#include "util/rational.h"
+
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace coverpack {
+
+namespace {
+
+/// Multiplies through __int128 and checks the product still fits in int64.
+int64_t CheckedMul(int64_t a, int64_t b) {
+  __int128 wide = static_cast<__int128>(a) * static_cast<__int128>(b);
+  CP_CHECK(wide <= INT64_MAX && wide >= INT64_MIN) << "rational overflow in multiply";
+  return static_cast<int64_t>(wide);
+}
+
+int64_t CheckedAdd(int64_t a, int64_t b) {
+  __int128 wide = static_cast<__int128>(a) + static_cast<__int128>(b);
+  CP_CHECK(wide <= INT64_MAX && wide >= INT64_MIN) << "rational overflow in add";
+  return static_cast<int64_t>(wide);
+}
+
+}  // namespace
+
+Rational::Rational(int64_t num, int64_t den) : num_(num), den_(den) {
+  CP_CHECK(den != 0) << "rational with zero denominator";
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  // Reduce via gcd of denominators first to keep intermediates small.
+  int64_t g = std::gcd(den_, other.den_);
+  int64_t lhs_scale = other.den_ / g;
+  int64_t rhs_scale = den_ / g;
+  int64_t num = CheckedAdd(CheckedMul(num_, lhs_scale), CheckedMul(other.num_, rhs_scale));
+  int64_t den = CheckedMul(den_, lhs_scale);
+  return Rational(num, den);
+}
+
+Rational Rational::operator-(const Rational& other) const { return *this + (-other); }
+
+Rational Rational::operator*(const Rational& other) const {
+  // Cross-cancel before multiplying to limit growth.
+  int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, other.den_);
+  int64_t g2 = std::gcd(other.num_ < 0 ? -other.num_ : other.num_, den_);
+  int64_t num = CheckedMul(num_ / g1, other.num_ / g2);
+  int64_t den = CheckedMul(den_ / g2, other.den_ / g1);
+  return Rational(num, den);
+}
+
+Rational Rational::operator/(const Rational& other) const { return *this * other.Inverse(); }
+
+bool Rational::operator<(const Rational& other) const {
+  __int128 lhs = static_cast<__int128>(num_) * other.den_;
+  __int128 rhs = static_cast<__int128>(other.num_) * den_;
+  return lhs < rhs;
+}
+
+Rational Rational::Inverse() const {
+  CP_CHECK(num_ != 0) << "inverse of zero rational";
+  return Rational(den_, num_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) { return os << r.ToString(); }
+
+}  // namespace coverpack

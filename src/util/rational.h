@@ -1,0 +1,86 @@
+/// \file rational.h
+/// \brief Exact rational arithmetic for LP coefficients and exponents.
+///
+/// The fractional edge covering number rho*, edge packing number tau* and
+/// quasi-packing number psi* of a query become *exponents* in load formulas
+/// (L = N / p^(1/rho*)), so they must be computed exactly. Rational stores a
+/// normalized num/den pair of int64 and promotes through __int128 on
+/// multiplication so that the simplex pivots used on constant-size queries
+/// never overflow in practice; overflow aborts rather than silently wrapping.
+
+#ifndef COVERPACK_UTIL_RATIONAL_H_
+#define COVERPACK_UTIL_RATIONAL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <numeric>
+#include <string>
+
+namespace coverpack {
+
+/// An exact rational number with overflow-checked int64 numerator and
+/// denominator. Always stored in lowest terms with a positive denominator.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() : num_(0), den_(1) {}
+
+  /// An integer value.
+  constexpr Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT
+
+  /// The fraction num/den; den must be nonzero.
+  Rational(int64_t num, int64_t den);
+
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+
+  bool is_zero() const { return num_ == 0; }
+  bool is_negative() const { return num_ < 0; }
+  bool is_positive() const { return num_ > 0; }
+  bool is_integer() const { return den_ == 1; }
+
+  /// Converts to double (for reporting only, never for decisions).
+  double ToDouble() const { return static_cast<double>(num_) / static_cast<double>(den_); }
+
+  /// Renders as "a" or "a/b".
+  std::string ToString() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& other) { return *this = *this + other; }
+  Rational& operator-=(const Rational& other) { return *this = *this - other; }
+  Rational& operator*=(const Rational& other) { return *this = *this * other; }
+  Rational& operator/=(const Rational& other) { return *this = *this / other; }
+
+  bool operator==(const Rational& other) const {
+    return num_ == other.num_ && den_ == other.den_;
+  }
+  bool operator!=(const Rational& other) const { return !(*this == other); }
+  bool operator<(const Rational& other) const;
+  bool operator<=(const Rational& other) const { return *this < other || *this == other; }
+  bool operator>(const Rational& other) const { return other < *this; }
+  bool operator>=(const Rational& other) const { return other <= *this; }
+
+  /// Reciprocal; aborts on zero.
+  Rational Inverse() const;
+
+  /// min/max helpers.
+  static Rational Min(const Rational& a, const Rational& b) { return a < b ? a : b; }
+  static Rational Max(const Rational& a, const Rational& b) { return a < b ? b : a; }
+
+ private:
+  void Normalize();
+
+  int64_t num_;
+  int64_t den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_UTIL_RATIONAL_H_

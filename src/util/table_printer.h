@@ -1,0 +1,43 @@
+/// \file table_printer.h
+/// \brief Aligned plain-text tables for benchmark output.
+///
+/// Every bench binary regenerates one of the paper's tables/figures as a
+/// text table; this class keeps the formatting uniform across binaries.
+
+#ifndef COVERPACK_UTIL_TABLE_PRINTER_H_
+#define COVERPACK_UTIL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coverpack {
+
+/// Collects rows of string cells and prints them with column alignment.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; it may have fewer cells than the header (padded).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: appends a horizontal separator before the next row.
+  void AddSeparator();
+
+  /// Renders the table to the stream.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Formats a double with the given precision (fixed).
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,128 @@
+#include "workload/generators.h"
+
+#include "util/logging.h"
+
+namespace coverpack {
+namespace workload {
+
+Relation UniformRandom(AttrSet attrs, size_t n, uint64_t domain, Rng* rng) {
+  CP_CHECK_GT(domain, 0u);
+  Relation relation(attrs);
+  relation.Reserve(n);
+  uint32_t width = attrs.size();
+  std::vector<Value> row(width);
+  // Draw until n distinct tuples exist (or the domain is exhausted).
+  size_t attempts = 0;
+  size_t max_attempts = n * 20 + 1000;
+  while (relation.size() < n && attempts < max_attempts) {
+    size_t deficit = n - relation.size();
+    for (size_t i = 0; i < deficit; ++i) {
+      for (uint32_t c = 0; c < width; ++c) row[c] = rng->Uniform(domain);
+      relation.AppendRow(std::span<const Value>(row));
+    }
+    relation.Dedup();
+    attempts += deficit;
+  }
+  return relation;
+}
+
+Relation Matching(AttrSet attrs, size_t n) {
+  Relation relation(attrs);
+  relation.Reserve(n);
+  uint32_t width = attrs.size();
+  std::vector<Value> row(width);
+  for (size_t i = 0; i < n; ++i) {
+    for (uint32_t c = 0; c < width; ++c) row[c] = i;
+    relation.AppendRow(std::span<const Value>(row));
+  }
+  return relation;
+}
+
+Relation Cartesian(AttrSet attrs, const std::vector<uint64_t>& dims) {
+  uint32_t width = attrs.size();
+  CP_CHECK_EQ(dims.size(), width);
+  uint64_t total = 1;
+  for (uint64_t d : dims) {
+    CP_CHECK_GT(d, 0u);
+    total *= d;
+    CP_CHECK_LT(total, uint64_t{1} << 32) << "Cartesian relation too large";
+  }
+  Relation relation(attrs);
+  relation.Reserve(total);
+  std::vector<Value> row(width, 0);
+  for (uint64_t index = 0; index < total; ++index) {
+    uint64_t rest = index;
+    for (uint32_t c = 0; c < width; ++c) {
+      row[c] = rest % dims[c];
+      rest /= dims[c];
+    }
+    relation.AppendRow(std::span<const Value>(row));
+  }
+  return relation;
+}
+
+Relation Zipf(AttrSet attrs, size_t n, uint64_t domain, double skew, Rng* rng) {
+  ZipfSampler sampler(domain, skew);
+  Relation relation(attrs);
+  relation.Reserve(n);
+  uint32_t width = attrs.size();
+  std::vector<Value> row(width);
+  size_t attempts = 0;
+  size_t max_attempts = n * 50 + 1000;
+  while (relation.size() < n && attempts < max_attempts) {
+    size_t deficit = n - relation.size();
+    for (size_t i = 0; i < deficit; ++i) {
+      for (uint32_t c = 0; c < width; ++c) row[c] = sampler.Sample(rng);
+      relation.AppendRow(std::span<const Value>(row));
+    }
+    relation.Dedup();
+    attempts += deficit;
+  }
+  return relation;
+}
+
+Relation OneToOne(AttrSet attrs, AttrId a, AttrId b, size_t n) {
+  CP_CHECK(attrs.Contains(a));
+  CP_CHECK(attrs.Contains(b));
+  CP_CHECK(a != b);
+  Relation relation(attrs);
+  relation.Reserve(n);
+  uint32_t width = attrs.size();
+  uint32_t col_a = relation.ColumnOf(a);
+  uint32_t col_b = relation.ColumnOf(b);
+  std::vector<Value> row(width, 0);
+  for (size_t i = 0; i < n; ++i) {
+    row[col_a] = i;
+    row[col_b] = i;
+    relation.AppendRow(std::span<const Value>(row));
+  }
+  return relation;
+}
+
+Instance UniformInstance(const Hypergraph& query, size_t n, uint64_t domain, Rng* rng) {
+  Instance instance(query);
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    instance[e] = UniformRandom(query.edge(e).attrs, n, domain, rng);
+  }
+  return instance;
+}
+
+Instance MatchingInstance(const Hypergraph& query, size_t n) {
+  Instance instance(query);
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    instance[e] = Matching(query.edge(e).attrs, n);
+  }
+  return instance;
+}
+
+Instance ZipfInstance(const Hypergraph& query, size_t n, uint64_t domain, double skew,
+                      Rng* rng) {
+  Instance instance(query);
+  for (uint32_t e = 0; e < query.num_edges(); ++e) {
+    instance[e] = Zipf(query.edge(e).attrs, n, domain, skew, rng);
+  }
+  return instance;
+}
+
+}  // namespace workload
+}  // namespace coverpack

@@ -1,0 +1,50 @@
+/// \file generators.h
+/// \brief Synthetic workload generators for tests and benchmarks.
+///
+/// Three regimes matter for the paper's story: *matching* (skew-free)
+/// instances where one-round HyperCube is at its best, *skewed* (Zipf /
+/// heavy-hitter) instances that defeat it, and *Cartesian-product*-shaped
+/// relations used by all of the paper's hard instances.
+
+#ifndef COVERPACK_WORKLOAD_GENERATORS_H_
+#define COVERPACK_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "query/hypergraph.h"
+#include "relation/instance.h"
+#include "util/random.h"
+
+namespace coverpack {
+namespace workload {
+
+/// `n` distinct uniform-random tuples with each attribute drawn from
+/// [0, domain).
+Relation UniformRandom(AttrSet attrs, size_t n, uint64_t domain, Rng* rng);
+
+/// The matching (diagonal) relation: tuple i assigns value i to every
+/// attribute; n tuples. Matching databases are the skew-free ideal of the
+/// one-round literature.
+Relation Matching(AttrSet attrs, size_t n);
+
+/// Full Cartesian product over per-attribute domain sizes `dims` (ordered
+/// by ascending AttrId). Size = prod(dims).
+Relation Cartesian(AttrSet attrs, const std::vector<uint64_t>& dims);
+
+/// `n` tuples where every attribute is drawn from a Zipf(skew) distribution
+/// over [0, domain). skew = 0 is uniform; skew >= 1 is heavily skewed.
+Relation Zipf(AttrSet attrs, size_t n, uint64_t domain, double skew, Rng* rng);
+
+/// One-to-one mapping over two chosen attributes of the schema (pairs
+/// (i, i)); other attributes are fixed to 0. Used by Example 3.4.
+Relation OneToOne(AttrSet attrs, AttrId a, AttrId b, size_t n);
+
+/// Instance builders applying one generator to every relation.
+Instance UniformInstance(const Hypergraph& query, size_t n, uint64_t domain, Rng* rng);
+Instance MatchingInstance(const Hypergraph& query, size_t n);
+Instance ZipfInstance(const Hypergraph& query, size_t n, uint64_t domain, double skew, Rng* rng);
+
+}  // namespace workload
+}  // namespace coverpack
+
+#endif  // COVERPACK_WORKLOAD_GENERATORS_H_

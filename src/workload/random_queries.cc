@@ -1,0 +1,73 @@
+#include "workload/random_queries.h"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace coverpack {
+namespace workload {
+
+Hypergraph RandomAcyclicQuery(Rng* rng, const RandomAcyclicOptions& options) {
+  CP_CHECK_GE(options.min_edges, 1u);
+  CP_CHECK_GE(options.max_edges, options.min_edges);
+  uint32_t num_edges = static_cast<uint32_t>(
+      rng->UniformInRange(options.min_edges, options.max_edges));
+
+  Hypergraph::Builder builder;
+  uint32_t next_attr = 0;
+  std::vector<std::vector<std::string>> edge_attrs;  // by name, per edge
+
+  auto fresh = [&]() { return "X" + std::to_string(next_attr++); };
+
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    std::vector<std::string> attrs;
+    if (e > 0) {
+      // Attach to a random existing relation, inheriting a random nonempty
+      // subset of its attributes (this preserves the join-tree property).
+      const auto& parent = edge_attrs[rng->Uniform(e)];
+      uint32_t shared = 1 + static_cast<uint32_t>(rng->Uniform(
+                                std::min<uint64_t>(options.max_shared_attrs, parent.size())));
+      std::vector<std::string> pool = parent;
+      rng->Shuffle(&pool);
+      for (uint32_t i = 0; i < shared; ++i) attrs.push_back(pool[i]);
+    }
+    uint32_t fresh_count = static_cast<uint32_t>(rng->Uniform(options.max_fresh_attrs + 1));
+    if (attrs.empty() && fresh_count == 0) fresh_count = 1;  // nonempty schema
+    for (uint32_t i = 0; i < fresh_count; ++i) attrs.push_back(fresh());
+    builder.AddRelation("R" + std::to_string(e + 1), attrs);
+    edge_attrs.push_back(std::move(attrs));
+  }
+  return builder.Build();
+}
+
+Hypergraph RandomDegreeTwoQuery(Rng* rng, uint32_t num_edges, uint32_t num_attrs) {
+  CP_CHECK_GE(num_edges, 2u);
+  CP_CHECK_GE(num_attrs, 1u);
+  // Dual view: relations are vertices; each attribute connects two distinct
+  // relations. First lay a spanning path so no relation ends up empty, then
+  // sprinkle the remaining attributes randomly.
+  std::vector<std::vector<std::string>> edge_attrs(num_edges);
+  uint32_t attr = 0;
+  auto connect = [&](uint32_t a, uint32_t b) {
+    std::string name = "X" + std::to_string(attr++);
+    edge_attrs[a].push_back(name);
+    edge_attrs[b].push_back(name);
+  };
+  for (uint32_t e = 0; e + 1 < num_edges && attr < num_attrs; ++e) connect(e, e + 1);
+  while (attr < num_attrs) {
+    uint32_t a = static_cast<uint32_t>(rng->Uniform(num_edges));
+    uint32_t b = static_cast<uint32_t>(rng->Uniform(num_edges));
+    if (a == b) continue;
+    connect(a, b);
+  }
+  Hypergraph::Builder builder;
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    CP_CHECK(!edge_attrs[e].empty());
+    builder.AddRelation("R" + std::to_string(e + 1), edge_attrs[e]);
+  }
+  return builder.Build();
+}
+
+}  // namespace workload
+}  // namespace coverpack

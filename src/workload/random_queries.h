@@ -1,0 +1,43 @@
+/// \file random_queries.h
+/// \brief Random query generators for property-based testing.
+///
+/// RandomAcyclicQuery builds a random join *tree* directly — every new
+/// relation shares a nonempty subset of one existing relation's attributes
+/// and adds fresh ones — so alpha-acyclicity holds by construction and the
+/// structural theorems (integral rho*, S(E) max size, Theorem 5 load) can
+/// be fuzzed across thousands of shapes. RandomDegreeTwoQuery samples the
+/// dual graph (relations = vertices, attributes = edges), covering both
+/// bipartite (no odd cycle) and non-bipartite cases of Section 5.2.
+
+#ifndef COVERPACK_WORKLOAD_RANDOM_QUERIES_H_
+#define COVERPACK_WORKLOAD_RANDOM_QUERIES_H_
+
+#include <cstdint>
+
+#include "query/hypergraph.h"
+#include "util/random.h"
+
+namespace coverpack {
+namespace workload {
+
+/// Options for RandomAcyclicQuery.
+struct RandomAcyclicOptions {
+  uint32_t min_edges = 2;
+  uint32_t max_edges = 7;
+  uint32_t max_shared_attrs = 2;  ///< attrs inherited from the parent
+  uint32_t max_fresh_attrs = 2;   ///< new attrs per relation (>= 1 forced on roots)
+};
+
+/// A random alpha-acyclic query (acyclic by construction; verified in
+/// debug builds). Relation names are R1..Rk; attributes X0, X1, ...
+Hypergraph RandomAcyclicQuery(Rng* rng, const RandomAcyclicOptions& options = {});
+
+/// A random degree-two query: every attribute appears in exactly two
+/// relations. `num_edges` >= 2; `num_attrs` >= num_edges - 1 recommended.
+/// The result may be reducible or disconnected; callers filter as needed.
+Hypergraph RandomDegreeTwoQuery(Rng* rng, uint32_t num_edges, uint32_t num_attrs);
+
+}  // namespace workload
+}  // namespace coverpack
+
+#endif  // COVERPACK_WORKLOAD_RANDOM_QUERIES_H_

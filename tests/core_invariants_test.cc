@@ -1,0 +1,115 @@
+/// Cross-cutting invariants of the core algorithms: constant rounds,
+/// bounded server allocation, load within a constant of the planned L, and
+/// share-optimizer sanity.
+
+#include <gtest/gtest.h>
+
+#include "core/acyclic_join.h"
+#include "mpc/hypercube.h"
+#include "query/catalog.h"
+#include "query/properties.h"
+#include "workload/generators.h"
+
+namespace coverpack {
+namespace {
+
+struct InvariantCase {
+  catalog::NamedQuery entry;
+  uint32_t p;
+};
+
+void PrintTo(const InvariantCase& c, std::ostream* os) {
+  *os << c.entry.name << " p=" << c.p;
+}
+
+class AcyclicInvariantsTest : public ::testing::TestWithParam<InvariantCase> {};
+
+TEST_P(AcyclicInvariantsTest, LoadRoundsServersWithinTheory) {
+  const auto& [entry, p] = GetParam();
+  Instance instance = workload::MatchingInstance(entry.query, 4000);
+  AcyclicRunOptions options;
+  options.collect = false;
+  options.p = p;
+  AcyclicRunResult run = ComputeAcyclicJoin(entry.query, instance, options);
+  // Load within a constant of the planned threshold.
+  EXPECT_LE(run.max_load, 16 * run.load_threshold) << entry.name;
+  // Constant rounds (query-size dependent only).
+  EXPECT_LE(run.rounds, 8u * entry.query.num_edges()) << entry.name;
+  // Server allocation within a constant of the budget.
+  EXPECT_LE(run.servers_used, 16ull * p + 16) << entry.name;
+}
+
+std::vector<InvariantCase> InvariantCases() {
+  std::vector<InvariantCase> cases;
+  for (const auto& entry : catalog::StandardRoster()) {
+    if (!IsAlphaAcyclic(entry.query)) continue;
+    for (uint32_t p : {8u, 64u, 512u}) cases.push_back({entry, p});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, AcyclicInvariantsTest,
+                         ::testing::ValuesIn(InvariantCases()));
+
+TEST(AcyclicInvariantsTest, RoundCountIsStableAcrossP) {
+  // Rounds depend on the query, not on p (O(1) in data complexity).
+  Hypergraph q = catalog::Path(4);
+  Instance instance = workload::MatchingInstance(q, 4000);
+  std::vector<uint32_t> rounds;
+  for (uint32_t p : {4u, 64u, 1024u}) {
+    AcyclicRunOptions options;
+    options.collect = false;
+    options.p = p;
+    rounds.push_back(ComputeAcyclicJoin(q, instance, options).rounds);
+  }
+  EXPECT_EQ(rounds[0], rounds[1]);
+  EXPECT_EQ(rounds[1], rounds[2]);
+}
+
+TEST(SharesForSizesTest, GridFitsAndBeatsNaive) {
+  Hypergraph q = catalog::Triangle();
+  std::vector<uint64_t> sizes{10000, 10000, 10000};
+  mpc::ShareVector shares = mpc::OptimizeSharesForSizes(q, sizes, 64);
+  EXPECT_LE(shares.grid_size, 64u);
+  // Symmetric sizes give symmetric shares 4,4,4.
+  EXPECT_EQ(shares.shares, (std::vector<uint32_t>{4, 4, 4}));
+}
+
+TEST(SharesForSizesTest, AsymmetricSizesSkewShares) {
+  // One huge relation: its attributes deserve the shares.
+  Hypergraph q = catalog::Line3();  // R1(A,B), R2(B,C), R3(C,D)
+  std::vector<uint64_t> sizes{1000000, 100, 100};
+  mpc::ShareVector shares = mpc::OptimizeSharesForSizes(q, sizes, 64);
+  AttrId a = *q.FindAttribute("A");
+  AttrId b = *q.FindAttribute("B");
+  AttrId d = *q.FindAttribute("D");
+  EXPECT_GE(shares.shares[a] * shares.shares[b], 16u);
+  EXPECT_EQ(shares.shares[d], 1u);
+}
+
+TEST(SharesForSizesTest, UsesFullBudgetWhenProfitable) {
+  // The LP degeneracy case: a 4-attribute query where some optimal LP
+  // vertices under-use the grid; the greedy must reach utilization that
+  // covers the dominant relations.
+  Hypergraph q = catalog::Line3();
+  std::vector<uint64_t> sizes{10000, 10000, 10000};
+  mpc::ShareVector shares = mpc::OptimizeSharesForSizes(q, sizes, 64);
+  EXPECT_GE(shares.grid_size, 32u);
+}
+
+TEST(ExplicitThresholdTest, SmallerLNeedsMoreServers) {
+  Hypergraph q = catalog::Line3();
+  Instance instance = workload::MatchingInstance(q, 4000);
+  AcyclicRunOptions coarse;
+  coarse.collect = false;
+  coarse.load_threshold = 2000;
+  AcyclicRunOptions fine = coarse;
+  fine.load_threshold = 250;
+  AcyclicRunResult coarse_run = ComputeAcyclicJoin(q, instance, coarse);
+  AcyclicRunResult fine_run = ComputeAcyclicJoin(q, instance, fine);
+  EXPECT_GT(fine_run.servers_used, coarse_run.servers_used);
+  EXPECT_LE(fine_run.max_load, coarse_run.max_load * 2);
+}
+
+}  // namespace
+}  // namespace coverpack

@@ -1,0 +1,120 @@
+#include "query/decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/covers.h"
+#include "query/catalog.h"
+#include "query/parser.h"
+#include "query/properties.h"
+
+namespace coverpack {
+namespace {
+
+class AcyclicRosterTest : public ::testing::TestWithParam<catalog::NamedQuery> {};
+
+/// The heart of Theorem 5: the largest set in Theorem 3's family S(E) has
+/// exactly rho* relations, so the Theorem 4 load is N / p^(1/rho*).
+TEST_P(AcyclicRosterTest, MaxSFamilySizeEqualsRhoStar) {
+  const auto& entry = GetParam();
+  Rational rho = RhoStar(entry.query);
+  ASSERT_TRUE(rho.is_integer()) << entry.name;  // Lemma A.2
+  EXPECT_EQ(MaxSFamilySetSize(entry.query), static_cast<uint32_t>(rho.num())) << entry.name;
+}
+
+TEST_P(AcyclicRosterTest, FamilySetsAreEdgeSubsets) {
+  const auto& entry = GetParam();
+  for (EdgeSet s : SFamily(entry.query)) {
+    EXPECT_TRUE(s.IsSubsetOf(entry.query.AllEdges())) << entry.name;
+  }
+}
+
+TEST_P(AcyclicRosterTest, FamilyContainsEverySingleRelationAlternative) {
+  // Every relation appears in at least one family set: the algorithm may
+  // have to pay for scanning any single relation.
+  const auto& entry = GetParam();
+  EdgeSet seen;
+  for (EdgeSet s : SFamily(entry.query)) seen = seen.Union(s);
+  EXPECT_EQ(seen, entry.query.AllEdges()) << entry.name;
+}
+
+std::vector<catalog::NamedQuery> AcyclicRoster() {
+  std::vector<catalog::NamedQuery> acyclic;
+  for (const auto& entry : catalog::StandardRoster()) {
+    if (IsAlphaAcyclic(entry.query)) acyclic.push_back(entry);
+  }
+  return acyclic;
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, AcyclicRosterTest, ::testing::ValuesIn(AcyclicRoster()),
+                         [](const ::testing::TestParamInfo<catalog::NamedQuery>& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(DecompositionTest, Path5Twigs) {
+  Hypergraph q = catalog::Path(5);
+  auto tree = JoinTree::Build(q);
+  ASSERT_TRUE(tree.has_value());
+  EdgeSet cover = MinimumIntegralEdgeCover(q).edges;
+  TwigDecomposition d = DecomposeTwigs(*tree, q.AllEdges(), cover);
+  ASSERT_FALSE(d.twigs.empty());
+  EXPECT_TRUE(d.twigs[0].owns_root);
+  // All nodes covered by some twig.
+  EdgeSet all;
+  for (const Twig& twig : d.twigs) all = all.Union(twig.nodes);
+  EXPECT_EQ(all, q.AllEdges());
+  // Pieces of each twig are node-disjoint and cover the twig.
+  for (const Twig& twig : d.twigs) {
+    EdgeSet piece_union;
+    uint32_t piece_total = 0;
+    for (const auto& piece : twig.pieces) {
+      for (uint32_t node : piece) piece_union.Insert(node);
+      piece_total += static_cast<uint32_t>(piece.size());
+    }
+    EXPECT_EQ(piece_union, twig.nodes);
+    EXPECT_EQ(piece_total, twig.nodes.size());  // disjointness
+  }
+}
+
+TEST(DecompositionTest, SubsumedRelationsBecomeSingletons) {
+  Hypergraph q = catalog::SemiJoinExample();
+  std::vector<EdgeSet> family = SFamily(q);
+  EdgeId r1 = *q.FindEdge("R1");
+  EdgeId r3 = *q.FindEdge("R3");
+  EXPECT_NE(std::find(family.begin(), family.end(), EdgeSet::Single(r1)), family.end());
+  EXPECT_NE(std::find(family.begin(), family.end(), EdgeSet::Single(r3)), family.end());
+  EXPECT_EQ(MaxSFamilySetSize(q), 1u);
+}
+
+TEST(DecompositionTest, Figure4Pieces) {
+  Hypergraph q = catalog::Figure4Query();
+  auto tree = JoinTree::Build(q);
+  ASSERT_TRUE(tree.has_value());
+  EdgeSet cover = MinimumIntegralEdgeCover(q).edges;
+  EXPECT_EQ(cover.size(), 6u);
+  TwigDecomposition d = DecomposeTwigs(*tree, q.AllEdges(), cover);
+  // Twigs partition the nodes up to shared boundary roots.
+  EdgeSet all;
+  for (const Twig& twig : d.twigs) all = all.Union(twig.nodes);
+  EXPECT_EQ(all, q.AllEdges());
+}
+
+TEST(DecompositionTest, DecompositionToStringMentionsAllTwigs) {
+  Hypergraph q = catalog::Path(5);
+  auto tree = JoinTree::Build(q);
+  ASSERT_TRUE(tree.has_value());
+  TwigDecomposition d = DecomposeTwigs(*tree, q.AllEdges(), MinimumIntegralEdgeCover(q).edges);
+  std::string text = DecompositionToString(q, d);
+  EXPECT_NE(text.find("twig 0"), std::string::npos);
+  EXPECT_NE(text.find("R1"), std::string::npos);
+}
+
+TEST(DecompositionTest, SFamilyAbortsOnCyclic) {
+  EXPECT_DEATH(SFamily(catalog::Triangle()), "acyclic");
+}
+
+}  // namespace
+}  // namespace coverpack

@@ -1,0 +1,66 @@
+#include "core/em_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/load_planner.h"
+#include "query/catalog.h"
+
+namespace coverpack {
+namespace {
+
+TEST(EmReductionTest, PStarSolvesTheLoadEquation) {
+  // Line-3 (rho* = 2): L(N, p) = N / sqrt(p); L <= M/r at p ~ (rN/M)^2.
+  Hypergraph q = catalog::Line3();
+  EmCostModel em;
+  em.memory = 4096;
+  em.block = 64;
+  uint64_t n = 1 << 16;
+  EmReductionResult result = ReduceMpcToEm(q, n, em, /*rounds=*/1);
+  // p* = ceil((N/M)^2) = 256.
+  EXPECT_EQ(result.p_star, 256u);
+  EXPECT_LE(result.load_at_p_star, em.memory);
+  // One more server would be too few: check minimality.
+  EXPECT_GT(PlanLoadUniform(q, n, static_cast<uint32_t>(result.p_star - 1)), em.memory);
+}
+
+TEST(EmReductionTest, IoMatchesClosedFormWithinConstants) {
+  EmCostModel em;
+  em.memory = 1 << 14;
+  em.block = 1 << 8;
+  for (uint32_t rounds : {1u, 4u}) {
+    for (uint64_t n : {uint64_t{1} << 17, uint64_t{1} << 19}) {
+      Hypergraph q = catalog::Line3();
+      EmReductionResult result = ReduceMpcToEm(q, n, em, rounds);
+      double measured = static_cast<double>(result.io_count);
+      // r * p* * L / B with L = M/r and p* = (rN/M)^rho gives
+      // r^rho * closed_form; allow that round-dependent constant.
+      double rounds_factor = std::pow(static_cast<double>(rounds), 2.0);
+      EXPECT_LE(measured, 4.0 * rounds_factor * result.closed_form + 16) << n;
+      EXPECT_GE(measured * 4.0, result.closed_form) << n;
+    }
+  }
+}
+
+TEST(EmReductionTest, HigherRhoCostsMoreIo) {
+  EmCostModel em;
+  em.memory = 1 << 12;
+  em.block = 1 << 6;
+  uint64_t n = 1 << 15;
+  EmReductionResult line = ReduceMpcToEm(catalog::Line3(), n, em, 1);       // rho* = 2
+  EmReductionResult path5 = ReduceMpcToEm(catalog::Path(5), n, em, 1);      // rho* = 3
+  EXPECT_GT(path5.io_count, line.io_count);
+  EXPECT_GT(path5.p_star, line.p_star);
+}
+
+TEST(EmReductionTest, TrivialWhenDataFitsInMemory) {
+  EmCostModel em;
+  em.memory = 1 << 20;
+  em.block = 1 << 10;
+  EmReductionResult result = ReduceMpcToEm(catalog::Line3(), 1000, em, 1);
+  EXPECT_EQ(result.p_star, 1u);  // one "server" suffices: in-memory join
+}
+
+}  // namespace
+}  // namespace coverpack

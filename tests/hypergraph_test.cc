@@ -1,0 +1,118 @@
+#include "query/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+#include "query/catalog.h"
+#include "query/parser.h"
+
+namespace coverpack {
+namespace {
+
+TEST(AttrSetTest, BasicOperations) {
+  AttrSet s;
+  EXPECT_TRUE(s.empty());
+  s.Insert(3);
+  s.Insert(7);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.First(), 7u);
+}
+
+TEST(AttrSetTest, SetAlgebra) {
+  AttrSet a = AttrSet::FromIds({0, 1, 2});
+  AttrSet b = AttrSet::FromIds({2, 3});
+  EXPECT_EQ(a.Union(b), AttrSet::FromIds({0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), AttrSet::Single(2));
+  EXPECT_EQ(a.Minus(b), AttrSet::FromIds({0, 1}));
+  EXPECT_TRUE(AttrSet::FromIds({0, 1}).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(AttrSetTest, SubsetIteratorEnumeratesPowerSet) {
+  AttrSet universe = AttrSet::FromIds({1, 4, 6});
+  int count = 0;
+  bool saw_empty = false;
+  bool saw_full = false;
+  for (SubsetIterator it(universe); !it.Done(); it.Next()) {
+    ++count;
+    if (it.Current().empty()) saw_empty = true;
+    if (it.Current() == universe) saw_full = true;
+    EXPECT_TRUE(it.Current().IsSubsetOf(universe));
+  }
+  EXPECT_EQ(count, 8);
+  EXPECT_TRUE(saw_empty);
+  EXPECT_TRUE(saw_full);
+}
+
+TEST(ParserTest, ParsesBoxJoin) {
+  Hypergraph q = ParseQuery("R1(A,B,C), R2(D,E,F), R3(A,D), R4(B,E), R5(C,F)");
+  EXPECT_EQ(q.num_edges(), 5u);
+  EXPECT_EQ(q.num_attrs(), 6u);
+  EXPECT_EQ(q.edge(0).name, "R1");
+  EXPECT_EQ(q.edge(0).attrs.size(), 3u);
+  ASSERT_TRUE(q.FindAttribute("D").has_value());
+  EXPECT_TRUE(q.edge(2).attrs.Contains(*q.FindAttribute("D")));
+}
+
+TEST(HypergraphTest, EdgesContainingAndDegree) {
+  Hypergraph box = catalog::BoxJoin();
+  AttrId a = *box.FindAttribute("A");
+  EdgeSet holders = box.EdgesContaining(a);
+  EXPECT_EQ(holders.size(), 2u);
+  EXPECT_EQ(box.AttrDegree(a), 2u);
+  EXPECT_TRUE(holders.Contains(*box.FindEdge("R1")));
+  EXPECT_TRUE(holders.Contains(*box.FindEdge("R3")));
+}
+
+TEST(HypergraphTest, ResidualDropsAttribute) {
+  Hypergraph q = catalog::SemiJoinExample();  // R1(A), R2(A,B), R3(B)
+  AttrId a = *q.FindAttribute("A");
+  Hypergraph residual = q.Residual(AttrSet::Single(a));
+  // R1 becomes empty and is dropped; R2 loses A.
+  EXPECT_EQ(residual.num_edges(), 2u);
+  EXPECT_EQ(residual.edge(0).name, "R2");
+  EXPECT_EQ(residual.edge(0).attrs.size(), 1u);
+}
+
+TEST(HypergraphTest, InducedByEdgesKeepsNames) {
+  Hypergraph box = catalog::BoxJoin();
+  EdgeSet kept;
+  kept.Insert(*box.FindEdge("R1"));
+  kept.Insert(*box.FindEdge("R5"));
+  Hypergraph induced = box.InducedByEdges(kept);
+  EXPECT_EQ(induced.num_edges(), 2u);
+  EXPECT_TRUE(induced.FindEdge("R1").has_value());
+  EXPECT_TRUE(induced.FindEdge("R5").has_value());
+  EXPECT_EQ(box.SameNamedEdgeIn(induced, *box.FindEdge("R5")), induced.FindEdge("R5"));
+}
+
+TEST(HypergraphTest, ConnectedComponents) {
+  Hypergraph q = ParseQuery("R1(A,B), R2(B,C), R3(X,Y), R4(Z)");
+  std::vector<EdgeSet> components = q.ConnectedComponents();
+  EXPECT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0].size(), 2u);  // R1-R2 linked through B
+}
+
+TEST(HypergraphTest, IsReduced) {
+  EXPECT_FALSE(catalog::SemiJoinExample().IsReduced());
+  EXPECT_TRUE(catalog::BoxJoin().IsReduced());
+  EXPECT_TRUE(catalog::Path(4).IsReduced());
+}
+
+TEST(HypergraphTest, BuilderRejectsDuplicateRelationNames) {
+  Hypergraph::Builder builder;
+  builder.AddRelation("R", {"A"});
+  EXPECT_DEATH(builder.AddRelation("R", {"B"}), "duplicate");
+}
+
+TEST(HypergraphTest, ToStringRoundTrip) {
+  Hypergraph q = catalog::Line3();
+  EXPECT_EQ(q.ToString(), "R1(A,B) |><| R2(B,C) |><| R3(C,D)");
+}
+
+}  // namespace
+}  // namespace coverpack

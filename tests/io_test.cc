@@ -1,0 +1,78 @@
+#include "relation/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "query/catalog.h"
+#include "workload/generators.h"
+
+namespace coverpack {
+namespace {
+
+TEST(IoTest, RoundTripSingleRelation) {
+  Hypergraph q = catalog::Line3();
+  Rng rng(1);
+  Relation original = workload::UniformRandom(q.edge(0).attrs, 100, 50, &rng);
+  std::stringstream buffer;
+  WriteCsv(buffer, q, original);
+  Relation loaded = ReadCsv(buffer, q, q.edge(0).attrs);
+  EXPECT_TRUE(loaded.SameContentAs(original));
+}
+
+TEST(IoTest, HeaderNamesAttributes) {
+  Hypergraph q = catalog::Line3();
+  Relation r(q.edge(1).attrs);  // R2(B, C)
+  r.AppendRow({7, 9});
+  std::stringstream buffer;
+  WriteCsv(buffer, q, r);
+  std::string text = buffer.str();
+  EXPECT_EQ(text, "B,C\n7,9\n");
+}
+
+TEST(IoTest, ReadsReorderedColumns) {
+  Hypergraph q = catalog::Line3();
+  std::stringstream buffer("C,B\n9,7\n");
+  Relation loaded = ReadCsv(buffer, q, q.edge(1).attrs);
+  ASSERT_EQ(loaded.size(), 1u);
+  AttrId b = *q.FindAttribute("B");
+  AttrId c = *q.FindAttribute("C");
+  EXPECT_EQ(loaded.At(0, b), 7u);
+  EXPECT_EQ(loaded.At(0, c), 9u);
+}
+
+TEST(IoTest, RejectsWrongHeader) {
+  Hypergraph q = catalog::Line3();
+  std::stringstream buffer("A,Z\n1,2\n");
+  EXPECT_DEATH(ReadCsv(buffer, q, q.edge(0).attrs), "attribute");
+}
+
+TEST(IoTest, InstanceRoundTripOnDisk) {
+  Hypergraph q = catalog::Triangle();
+  Rng rng(5);
+  Instance original = workload::UniformInstance(q, 60, 12, &rng);
+
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "coverpack_io_test";
+  std::filesystem::create_directories(dir);
+  EXPECT_EQ(SaveInstance(dir.string(), q, original), 3u);
+  Instance loaded = LoadInstance(dir.string(), q);
+  for (uint32_t e = 0; e < q.num_edges(); ++e) {
+    EXPECT_TRUE(loaded[e].SameContentAs(original[e])) << q.edge(e).name;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IoTest, EmptyRelationRoundTrip) {
+  Hypergraph q = catalog::Line3();
+  Relation empty(q.edge(0).attrs);
+  std::stringstream buffer;
+  WriteCsv(buffer, q, empty);
+  Relation loaded = ReadCsv(buffer, q, q.edge(0).attrs);
+  EXPECT_TRUE(loaded.empty());
+}
+
+}  // namespace
+}  // namespace coverpack

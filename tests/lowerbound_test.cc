@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/load_planner.h"
+#include "lowerbound/emit_capacity.h"
+#include "lowerbound/hard_instance.h"
+#include "query/catalog.h"
+#include "query/join_tree.h"
+#include "relation/oracle.h"
+
+namespace coverpack {
+namespace lowerbound {
+namespace {
+
+TEST(HardInstanceTest, BoxJoinConstruction) {
+  Hypergraph box = catalog::BoxJoin();
+  HardInstance hard = BoxJoinHardInstance(box, 4096, /*seed=*/42);
+  EXPECT_EQ(hard.n, 4096u);
+  // Deterministic relations have exactly N tuples.
+  for (const char* name : {"R1", "R3", "R4", "R5"}) {
+    EXPECT_EQ(hard.instance[*box.FindEdge(name)].size(), 4096u) << name;
+  }
+  // R2 is Binomial(N^2, 1/N): within 5 sigma of N.
+  double sigma = std::sqrt(4096.0);
+  double r2 = static_cast<double>(hard.instance[*box.FindEdge("R2")].size());
+  EXPECT_NEAR(r2, 4096.0, 5 * sigma);
+  // Domains: N^(1/3) for A,B,C and N^(2/3) for D,E,F.
+  EXPECT_EQ(hard.domain_sizes[*box.FindAttribute("A")], 16u);
+  EXPECT_EQ(hard.domain_sizes[*box.FindAttribute("D")], 256u);
+}
+
+TEST(HardInstanceTest, BoxJoinOutputIsCrossProductOfR1R2) {
+  // The join result is R1 x R2 (Section 5.1): every (a,b,c) joins every
+  // (d,e,f) in R2 because R3, R4, R5 are full Cartesian products.
+  Hypergraph box = catalog::BoxJoin();
+  HardInstance hard = BoxJoinHardInstance(box, 512, /*seed=*/7);
+  uint64_t expected = hard.instance[*box.FindEdge("R1")].size() *
+                      hard.instance[*box.FindEdge("R2")].size();
+  EXPECT_EQ(JoinCount(box, hard.instance), expected);
+}
+
+TEST(HardInstanceTest, SeedsAreReproducible) {
+  Hypergraph box = catalog::BoxJoin();
+  HardInstance a = BoxJoinHardInstance(box, 1000, 5);
+  HardInstance b = BoxJoinHardInstance(box, 1000, 5);
+  HardInstance c = BoxJoinHardInstance(box, 1000, 6);
+  EdgeId r2 = *box.FindEdge("R2");
+  EXPECT_TRUE(a.instance[r2].SameContentAs(b.instance[r2]));
+  EXPECT_FALSE(a.instance[r2].SameContentAs(c.instance[r2]));
+}
+
+TEST(HardInstanceTest, DegreeTwoGeneralizationMatchesBoxShape) {
+  Hypergraph box = catalog::BoxJoin();
+  PackingProvability witness = BoxJoinWitness(box);
+  HardInstance hard = DegreeTwoHardInstance(box, witness, 4096, 11);
+  // Same domain structure as the dedicated construction.
+  EXPECT_EQ(hard.domain_sizes[*box.FindAttribute("A")], 16u);
+  EXPECT_EQ(hard.domain_sizes[*box.FindAttribute("E")], 256u);
+  // Deterministic relations have ~N tuples.
+  EXPECT_EQ(hard.instance[*box.FindEdge("R1")].size(), 4096u);
+  double sigma = std::sqrt(4096.0);
+  EXPECT_NEAR(static_cast<double>(hard.instance[*box.FindEdge("R2")].size()), 4096.0,
+              5 * sigma);
+}
+
+TEST(HardInstanceTest, EvenCycleHardInstanceIsDeterministic) {
+  // C6 has an empty probabilistic set: the instance is fully Cartesian.
+  Hypergraph c6 = catalog::Cycle(6);
+  PackingProvability witness = UniformHalfWitness(c6);
+  HardInstance hard = DegreeTwoHardInstance(c6, witness, 1024, 3);
+  for (uint32_t e = 0; e < c6.num_edges(); ++e) {
+    EXPECT_EQ(hard.instance[e].size(), 1024u);
+  }
+}
+
+TEST(HardInstanceTest, Example34Construction) {
+  Hypergraph fig4 = catalog::Figure4Query();
+  HardInstance hard = Example34Instance(fig4, 4);
+  for (uint32_t e = 0; e < fig4.num_edges(); ++e) {
+    EXPECT_EQ(hard.instance[e].size(), 4u) << fig4.edge(e).name;
+  }
+  // Join size = n^6 (D, E, F, H(=J), K, G free).
+  EXPECT_EQ(JoinCount(fig4, hard.instance), 4096u);
+}
+
+TEST(Example34Test, ConservativePlannerPaysTheSubjoinGap) {
+  // Section 3.3 / Example 3.4: on this instance the conservative Theorem 2
+  // threshold is strictly larger than the worst-case-optimal Theorem 4
+  // threshold (N/p^(1/7) vs N/p^(1/6) for a suitable join tree).
+  Hypergraph fig4 = catalog::Figure4Query();
+  HardInstance hard = Example34Instance(fig4, 64);
+  auto tree = JoinTree::Build(fig4);
+  ASSERT_TRUE(tree);
+  uint32_t p = 4096;
+  uint64_t conservative = PlanLoadConservative(fig4, *tree, hard.instance, p);
+  uint64_t optimal = PlanLoadOptimal(fig4, hard.instance, p);
+  EXPECT_EQ(optimal, PlanLoadUniform(fig4, 64, p));
+  EXPECT_GT(conservative, optimal);
+}
+
+TEST(EmitCapacityTest, BoxMeasuredStaysUnderPredictedCap) {
+  // Theorem 6 Step 2: no Cartesian load shape beats 2 L^3 / N (whp).
+  Hypergraph box = catalog::BoxJoin();
+  PackingProvability witness = BoxJoinWitness(box);
+  HardInstance hard = BoxJoinHardInstance(box, 4096, 17);
+  for (uint64_t load : {256u, 512u, 1024u}) {
+    EmitCapacityResult r = SearchEmitCapacity(box, hard, witness, load, /*exact_top_k=*/100);
+    EXPECT_LE(static_cast<double>(r.measured), r.predicted_cap) << "L=" << load;
+    // Tightness: the construction admits shapes achieving ~L^3/N.
+    EXPECT_GE(static_cast<double>(r.measured), r.predicted_cap / 16.0) << "L=" << load;
+    EXPECT_GT(r.shapes_searched, 100u);
+  }
+}
+
+TEST(EmitCapacityTest, ExpectedYieldIsShapeIndependentAtOptimum) {
+  // Any feasible shape achieves expected ~L^3/N on the box instance, so
+  // the searched optimum is within a constant of L^3/N.
+  Hypergraph box = catalog::BoxJoin();
+  PackingProvability witness = BoxJoinWitness(box);
+  HardInstance hard = BoxJoinHardInstance(box, 4096, 23);
+  uint64_t load = 512;
+  EmitCapacityResult r = SearchEmitCapacity(box, hard, witness, load, 50);
+  double reference = std::pow(static_cast<double>(load), 3.0) / 4096.0;
+  EXPECT_GE(r.expected_best, reference / 2.0);
+  EXPECT_LE(r.expected_best, reference * 4.0);
+}
+
+TEST(EmitCapacityTest, CountingArgumentRecoversTauExponent) {
+  // L >= N / (2p)^(1/tau*): doubling p by 8 shrinks the bound by 2 when
+  // tau* = 3.
+  Rational tau(3);
+  double l64 = CountingArgumentLoadBound(1 << 20, 64, tau);
+  double l512 = CountingArgumentLoadBound(1 << 20, 512, tau);
+  EXPECT_NEAR(l64 / l512, 2.0, 1e-9);
+  // And the bound beats the AGM-based N / p^(1/rho*) = N / sqrt(p).
+  double agm_style = static_cast<double>(1 << 20) / std::sqrt(64.0);
+  EXPECT_GT(l64, agm_style);
+}
+
+TEST(EmitCapacityTest, LoadingEverythingEmitsEverything) {
+  // With L = N the search finds the full output N^2 (one server).
+  Hypergraph box = catalog::BoxJoin();
+  PackingProvability witness = BoxJoinWitness(box);
+  HardInstance hard = BoxJoinHardInstance(box, 512, 31);
+  // R2's sampled size can exceed N slightly; allow loading all of it.
+  uint64_t load = hard.instance.MaxRelationSize();
+  EmitCapacityResult r = SearchEmitCapacity(box, hard, witness, load, 100);
+  uint64_t out = JoinCount(box, hard.instance);
+  EXPECT_EQ(r.measured, out);
+}
+
+}  // namespace
+}  // namespace lowerbound
+}  // namespace coverpack

@@ -1,0 +1,144 @@
+#include "relation/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "query/catalog.h"
+#include "query/parser.h"
+#include "relation/agm.h"
+#include "workload/generators.h"
+
+namespace coverpack {
+namespace {
+
+TEST(OracleTest, TriangleByHand) {
+  Hypergraph q = catalog::Triangle();
+  Instance instance(q);
+  // R1(A,B), R2(B,C), R3(C,A): one triangle (1,2,3) plus noise.
+  instance[0].AppendRow({1, 2});
+  instance[0].AppendRow({1, 5});
+  instance[1].AppendRow({2, 3});
+  instance[1].AppendRow({5, 9});
+  instance[2].AppendRow({1, 3});  // schema {C,A} stores rows as (A, C)
+  Relation result = GenericJoin(q, instance);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.row(0)[0], 1u);  // A
+  EXPECT_EQ(result.row(0)[1], 2u);  // B
+  EXPECT_EQ(result.row(0)[2], 3u);  // C
+}
+
+TEST(OracleTest, EmptyRelationEmptyJoin) {
+  Hypergraph q = catalog::Line3();
+  Instance instance(q);
+  instance[0].AppendRow({1, 2});
+  // instance[1] empty
+  instance[2].AppendRow({3, 4});
+  EXPECT_TRUE(GenericJoin(q, instance).empty());
+  auto tree = JoinTree::Build(q);
+  ASSERT_TRUE(tree);
+  EXPECT_EQ(AcyclicJoinCount(q, *tree, instance), 0u);
+}
+
+TEST(OracleTest, CartesianProductCount) {
+  Hypergraph q = ParseQuery("R1(A), R2(B)");
+  Instance instance(q);
+  for (Value v = 0; v < 5; ++v) instance[0].AppendRow({v});
+  for (Value v = 0; v < 7; ++v) instance[1].AppendRow({v});
+  EXPECT_EQ(GenericJoin(q, instance).size(), 35u);
+  EXPECT_EQ(JoinCount(q, instance), 35u);
+}
+
+class CountAgreementTest : public ::testing::TestWithParam<std::tuple<const char*, uint64_t>> {};
+
+/// Property: AcyclicJoinCount agrees with materializing GenericJoin on
+/// random instances, across query shapes and seeds.
+TEST_P(CountAgreementTest, CountMatchesMaterialization) {
+  auto [text, seed] = GetParam();
+  Hypergraph q = ParseQuery(text);
+  Rng rng(seed);
+  Instance instance = workload::UniformInstance(q, 60, 12, &rng);
+  uint64_t materialized = GenericJoin(q, instance).size();
+  EXPECT_EQ(JoinCount(q, instance), materialized) << text << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CountAgreementTest,
+    ::testing::Combine(::testing::Values("R1(A,B), R2(B,C), R3(C,D)",
+                                         "R1(A,B), R2(A,C), R3(A,D)",
+                                         "R0(A,B,C), R1(A,B,D), R2(B,C,E), R3(A,C,F)",
+                                         "R1(A,B), R2(B,C), R3(C,A)",
+                                         "R1(A,B,C), R2(D,E,F), R3(A,D), R4(B,E), R5(C,F)"),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(OracleTest, SemiJoinReduceRemovesDanglers) {
+  Hypergraph q = catalog::Line3();
+  Instance instance(q);
+  instance[0].AppendRow({1, 2});
+  instance[0].AppendRow({8, 9});  // dangling: B=9 unmatched
+  instance[1].AppendRow({2, 3});
+  instance[2].AppendRow({3, 4});
+  auto tree = JoinTree::Build(q);
+  ASSERT_TRUE(tree);
+  Instance reduced = SemiJoinReduce(q, *tree, instance);
+  EXPECT_EQ(reduced[0].size(), 1u);
+  EXPECT_EQ(reduced[1].size(), 1u);
+  EXPECT_EQ(reduced[2].size(), 1u);
+  // Reduction preserves the join result.
+  EXPECT_TRUE(GenericJoin(q, reduced).SameContentAs(GenericJoin(q, instance)));
+}
+
+TEST(OracleTest, SemiJoinReducePropertyOnRandomInstances) {
+  for (uint64_t seed : {11u, 22u, 33u}) {
+    Hypergraph q = catalog::Path(4);
+    Rng rng(seed);
+    Instance instance = workload::UniformInstance(q, 80, 10, &rng);
+    auto tree = JoinTree::Build(q);
+    ASSERT_TRUE(tree);
+    Instance reduced = SemiJoinReduce(q, *tree, instance);
+    EXPECT_TRUE(GenericJoin(q, reduced).SameContentAs(GenericJoin(q, instance)));
+    // Every remaining tuple participates in some join result.
+    uint64_t count = AcyclicJoinCount(q, *tree, reduced);
+    if (count == 0) {
+      for (uint32_t e = 0; e < q.num_edges(); ++e) EXPECT_TRUE(reduced[e].empty());
+    }
+  }
+}
+
+TEST(OracleTest, SubjoinSizeExample32Style) {
+  // Subjoin multiplies over tree-connected components (Definition 3.1).
+  Hypergraph q = catalog::Path(3);  // R1(X0,X1) R2(X1,X2) R3(X2,X3)
+  Instance instance(q);
+  for (Value v = 0; v < 4; ++v) {
+    instance[0].AppendRow({v, v});
+    instance[1].AppendRow({v, v});
+    instance[2].AppendRow({v, v});
+  }
+  auto tree = JoinTree::Build(q);
+  ASSERT_TRUE(tree);
+  EdgeSet ends;  // R1 and R3: disconnected on the tree
+  ends.Insert(0);
+  ends.Insert(2);
+  EXPECT_EQ(SubjoinSize(q, *tree, instance, ends), 16u);  // 4 * 4
+  EdgeSet all = q.AllEdges();
+  EXPECT_EQ(SubjoinSize(q, *tree, instance, all), 4u);  // the diagonal join
+  EXPECT_EQ(SubjoinSize(q, *tree, instance, EdgeSet()), 1u);
+}
+
+TEST(OracleTest, AgmBoundUniformMatchesRhoStar) {
+  // Triangle: N^(3/2).
+  EXPECT_NEAR(AgmBoundUniform(catalog::Triangle(), 100), 1000.0, 1e-6);
+  // Box join: N^2.
+  EXPECT_NEAR(AgmBoundUniform(catalog::BoxJoin(), 100), 10000.0, 1e-6);
+}
+
+TEST(OracleTest, AgmBoundDominatesActualOutput) {
+  for (uint64_t seed : {5u, 6u}) {
+    Hypergraph q = catalog::Triangle();
+    Rng rng(seed);
+    Instance instance = workload::UniformInstance(q, 50, 8, &rng);
+    double bound = AgmBound(q, instance);
+    EXPECT_GE(bound * 1.01, static_cast<double>(GenericJoin(q, instance).size()));
+  }
+}
+
+}  // namespace
+}  // namespace coverpack

@@ -1,0 +1,83 @@
+#include "lp/packing_provable.h"
+
+#include <gtest/gtest.h>
+
+#include "query/catalog.h"
+#include "query/parser.h"
+#include "query/properties.h"
+
+namespace coverpack {
+namespace {
+
+TEST(PackingProvableTest, BoxJoinIsProvable) {
+  // Section 5.2: Q_box is edge-packing-provable with x_A=x_B=x_C=1/3 and
+  // x_D=x_E=x_F=2/3.
+  PackingProvability result = AnalyzePackingProvable(catalog::BoxJoin());
+  EXPECT_TRUE(result.provable) << result.reason;
+  EXPECT_EQ(result.tau_star, Rational(3));
+  EXPECT_EQ(result.rho_star, Rational(2));
+  EXPECT_EQ(result.probabilistic.size(), 1u);  // exactly R2 (or a symmetric twin)
+}
+
+TEST(PackingProvableTest, BoxJoinWithHandCover) {
+  Hypergraph box = catalog::BoxJoin();
+  VertexWeighting x;
+  x.weights.assign(box.num_attrs(), Rational(0));
+  for (const char* name : {"A", "B", "C"}) x.weights[*box.FindAttribute(name)] = Rational(1, 3);
+  for (const char* name : {"D", "E", "F"}) x.weights[*box.FindAttribute(name)] = Rational(2, 3);
+  x.total = Rational(3);
+  PackingProvability result = AnalyzeWithCover(box, x);
+  EXPECT_TRUE(result.provable) << result.reason;
+  ASSERT_EQ(result.probabilistic.size(), 1u);
+  EXPECT_EQ(box.edge(result.probabilistic[0]).name, "R2");
+}
+
+TEST(PackingProvableTest, TriangleFailsOddCycle) {
+  PackingProvability result = AnalyzePackingProvable(catalog::Triangle());
+  EXPECT_FALSE(result.provable);
+  EXPECT_NE(result.reason.find("odd"), std::string::npos);
+}
+
+TEST(PackingProvableTest, NonReducedFails) {
+  PackingProvability result = AnalyzePackingProvable(catalog::SemiJoinExample());
+  EXPECT_FALSE(result.provable);
+  EXPECT_NE(result.reason.find("reduced"), std::string::npos);
+}
+
+TEST(PackingProvableTest, NonDegreeTwoFails) {
+  PackingProvability result = AnalyzePackingProvable(catalog::Star(4));
+  EXPECT_FALSE(result.provable);
+  EXPECT_NE(result.reason.find("degree-two"), std::string::npos);
+}
+
+TEST(PackingProvableTest, EvenCycleIsProvable) {
+  // Even cycles are degree-two with no odd cycle; x = 1/2 everywhere is an
+  // optimal constant-small cover with E' empty.
+  PackingProvability result = AnalyzePackingProvable(catalog::Cycle(6));
+  EXPECT_TRUE(result.provable) << result.reason;
+  EXPECT_TRUE(result.probabilistic.empty());
+  EXPECT_EQ(result.tau_star, Rational(3));
+}
+
+TEST(PackingProvableTest, RotatedBridgesVariant) {
+  PackingProvability result = AnalyzePackingProvable(catalog::PackingProvableSixEdges());
+  EXPECT_TRUE(result.provable) << result.reason;
+  EXPECT_EQ(result.tau_star, Rational(3));
+  EXPECT_EQ(result.rho_star, Rational(2));
+}
+
+TEST(PackingProvableTest, OddCycleDetectionMatchesLemma53) {
+  // Lemma 5.3 (4): no odd cycle -> integral packing; the witness analysis
+  // agrees with the structural predicate for all degree-two catalog joins.
+  for (const auto& entry : catalog::StandardRoster()) {
+    if (!IsDegreeTwo(entry.query) || !entry.query.IsReduced()) continue;
+    bool no_odd = DegreeTwoHasNoOddCycle(entry.query);
+    PackingProvability result = AnalyzePackingProvable(entry.query);
+    if (!no_odd) {
+      EXPECT_FALSE(result.provable) << entry.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coverpack

@@ -1,0 +1,114 @@
+#include "query/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "query/catalog.h"
+#include "query/parser.h"
+
+namespace coverpack {
+namespace {
+
+TEST(PropertiesTest, AcyclicityOfCatalog) {
+  EXPECT_TRUE(IsAlphaAcyclic(catalog::Path(5)));
+  EXPECT_TRUE(IsAlphaAcyclic(catalog::Star(4)));
+  EXPECT_TRUE(IsAlphaAcyclic(catalog::StarDual(3)));
+  EXPECT_TRUE(IsAlphaAcyclic(catalog::Figure4Query()));
+  EXPECT_TRUE(IsAlphaAcyclic(catalog::SemiJoinExample()));
+  EXPECT_TRUE(IsAlphaAcyclic(catalog::Line3()));
+  EXPECT_TRUE(IsAlphaAcyclic(catalog::AlphaNotBerge()));
+
+  EXPECT_FALSE(IsAlphaAcyclic(catalog::Triangle()));
+  EXPECT_FALSE(IsAlphaAcyclic(catalog::Cycle(4)));
+  EXPECT_FALSE(IsAlphaAcyclic(catalog::Cycle(6)));
+  EXPECT_FALSE(IsAlphaAcyclic(catalog::BoxJoin()));
+  EXPECT_FALSE(IsAlphaAcyclic(catalog::LoomisWhitney(4)));
+  EXPECT_FALSE(IsAlphaAcyclic(catalog::Clique(4)));
+}
+
+TEST(PropertiesTest, AlphaButNotBergeExample) {
+  // Section 1.3's example separating the acyclicity notions.
+  Hypergraph q = catalog::AlphaNotBerge();
+  EXPECT_TRUE(IsAlphaAcyclic(q));
+  EXPECT_FALSE(IsBergeAcyclic(q));
+}
+
+TEST(PropertiesTest, BergeAcyclicExamples) {
+  EXPECT_TRUE(IsBergeAcyclic(catalog::Path(5)));
+  EXPECT_TRUE(IsBergeAcyclic(catalog::Star(4)));
+  EXPECT_TRUE(IsBergeAcyclic(catalog::Line3()));
+  EXPECT_FALSE(IsBergeAcyclic(catalog::Triangle()));
+  // Two relations sharing two attributes close a cycle in the incidence
+  // graph, so this is alpha- but not berge-acyclic.
+  EXPECT_FALSE(IsBergeAcyclic(ParseQuery("R1(A,B,C), R2(A,B)")));
+}
+
+TEST(PropertiesTest, TreeAndPathJoins) {
+  EXPECT_TRUE(IsPathJoin(catalog::Path(5)));
+  EXPECT_TRUE(IsPathJoin(catalog::Line3()));
+  EXPECT_TRUE(IsTreeJoin(catalog::Star(4)));
+  EXPECT_FALSE(IsPathJoin(catalog::Star(4)));
+  EXPECT_FALSE(IsTreeJoin(catalog::Figure4Query()));  // relations of arity > 2
+  EXPECT_FALSE(IsTreeJoin(catalog::Triangle()));      // cyclic
+  EXPECT_TRUE(IsPathJoin(ParseQuery("R1(A,B)")));     // single relation
+}
+
+TEST(PropertiesTest, Hierarchical) {
+  EXPECT_TRUE(IsHierarchical(catalog::Star(4)));
+  // Line-3 is the paper's example of a non-r-hierarchical query.
+  EXPECT_FALSE(IsHierarchical(catalog::Line3()));
+  EXPECT_FALSE(IsRHierarchical(catalog::Line3()));
+  // The semi-join example becomes a single relation after reduction.
+  EXPECT_TRUE(IsRHierarchical(catalog::SemiJoinExample()));
+}
+
+TEST(PropertiesTest, LoomisWhitneyDetection) {
+  EXPECT_TRUE(IsLoomisWhitney(catalog::LoomisWhitney(3)));
+  EXPECT_TRUE(IsLoomisWhitney(catalog::LoomisWhitney(5)));
+  EXPECT_TRUE(IsLoomisWhitney(catalog::Triangle()));  // LW(3) == triangle
+  EXPECT_FALSE(IsLoomisWhitney(catalog::BoxJoin()));
+  EXPECT_FALSE(IsLoomisWhitney(catalog::Path(3)));
+}
+
+TEST(PropertiesTest, DegreeTwoAndOddCycles) {
+  EXPECT_TRUE(IsDegreeTwo(catalog::BoxJoin()));
+  EXPECT_TRUE(DegreeTwoHasNoOddCycle(catalog::BoxJoin()));
+  EXPECT_TRUE(IsDegreeTwo(catalog::Triangle()));
+  EXPECT_FALSE(DegreeTwoHasNoOddCycle(catalog::Triangle()));
+  EXPECT_TRUE(IsDegreeTwo(catalog::Cycle(6)));
+  EXPECT_TRUE(DegreeTwoHasNoOddCycle(catalog::Cycle(6)));
+  EXPECT_TRUE(IsDegreeTwo(catalog::Cycle(5)));
+  EXPECT_FALSE(DegreeTwoHasNoOddCycle(catalog::Cycle(5)));
+  EXPECT_FALSE(IsDegreeTwo(catalog::Star(4)));  // hub attribute has degree 4
+}
+
+TEST(PropertiesTest, ReduceRemovesSubsumedEdges) {
+  Hypergraph q = catalog::SemiJoinExample();  // R1(A), R2(A,B), R3(B)
+  Hypergraph reduced = Reduce(q);
+  EXPECT_EQ(reduced.num_edges(), 1u);
+  EXPECT_EQ(reduced.edge(0).name, "R2");
+  EXPECT_TRUE(reduced.IsReduced());
+}
+
+TEST(PropertiesTest, GyoTraceEndsEmptyForAcyclic) {
+  GyoResult result = GyoReduce(catalog::Figure4Query());
+  EXPECT_TRUE(result.acyclic);
+  EXPECT_FALSE(result.steps.empty());
+}
+
+TEST(PropertiesTest, MinimumIntegralEdgeCoverMatchesRhoStarOnAcyclic) {
+  // Lemma A.2: acyclic joins have integral optimal edge covers.
+  EXPECT_EQ(MinimumIntegralEdgeCover(catalog::Path(5)).size, 3u);
+  EXPECT_EQ(MinimumIntegralEdgeCover(catalog::Star(4)).size, 4u);
+  EXPECT_EQ(MinimumIntegralEdgeCover(catalog::Figure4Query()).size, 6u);
+  EXPECT_EQ(MinimumIntegralEdgeCover(Reduce(catalog::SemiJoinExample())).size, 1u);
+}
+
+TEST(PropertiesTest, ClassificationStrings) {
+  EXPECT_EQ(ClassificationString(catalog::Path(3)),
+            "alpha-acyclic, berge-acyclic, tree, path");
+  EXPECT_EQ(ClassificationString(catalog::Triangle()),
+            "cyclic, loomis-whitney, degree-two (odd cycle)");
+}
+
+}  // namespace
+}  // namespace coverpack

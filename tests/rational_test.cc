@@ -1,0 +1,80 @@
+#include "util/rational.h"
+
+#include <gtest/gtest.h>
+
+namespace coverpack {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.ToString(), "0");
+}
+
+TEST(RationalTest, NormalizesSignAndGcd) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, -4), Rational(-1, 2));
+  EXPECT_EQ(Rational(0, -7), Rational(0));
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(1, 2);
+  Rational third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7, 8), Rational(3, 4));
+  EXPECT_GE(Rational(-1, 2), Rational(-2, 3));
+  EXPECT_LT(Rational(-1), Rational(0));
+}
+
+TEST(RationalTest, IntegerDetection) {
+  EXPECT_TRUE(Rational(6, 3).is_integer());
+  EXPECT_FALSE(Rational(5, 3).is_integer());
+}
+
+TEST(RationalTest, Inverse) {
+  EXPECT_EQ(Rational(3, 7).Inverse(), Rational(7, 3));
+  EXPECT_EQ(Rational(-2).Inverse(), Rational(-1, 2));
+}
+
+TEST(RationalTest, MinMax) {
+  EXPECT_EQ(Rational::Min(Rational(1, 2), Rational(1, 3)), Rational(1, 3));
+  EXPECT_EQ(Rational::Max(Rational(1, 2), Rational(1, 3)), Rational(1, 2));
+}
+
+TEST(RationalTest, ToDoubleAndString) {
+  EXPECT_DOUBLE_EQ(Rational(3, 2).ToDouble(), 1.5);
+  EXPECT_EQ(Rational(3, 2).ToString(), "3/2");
+  EXPECT_EQ(Rational(-4, 2).ToString(), "-2");
+}
+
+TEST(RationalTest, CompoundAssignment) {
+  Rational r(1, 2);
+  r += Rational(1, 2);
+  EXPECT_EQ(r, Rational(1));
+  r *= Rational(2, 3);
+  EXPECT_EQ(r, Rational(2, 3));
+  r -= Rational(1, 3);
+  EXPECT_EQ(r, Rational(1, 3));
+  r /= Rational(1, 3);
+  EXPECT_EQ(r, Rational(1));
+}
+
+TEST(RationalTest, LargeValuesReduceBeforeMultiplying) {
+  // (1000000/3) * (3/1000000) must not overflow intermediates.
+  Rational a(1000000, 3);
+  Rational b(3, 1000000);
+  EXPECT_EQ(a * b, Rational(1));
+}
+
+}  // namespace
+}  // namespace coverpack

@@ -1,0 +1,124 @@
+#include "relation/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "relation/operators.h"
+
+namespace coverpack {
+namespace {
+
+Relation MakeAB() {
+  Relation r(AttrSet::FromIds({0, 1}));  // A=0, B=1
+  r.AppendRow({1, 10});
+  r.AppendRow({1, 11});
+  r.AppendRow({2, 10});
+  return r;
+}
+
+TEST(RelationTest, RowAccessAndColumns) {
+  Relation r = MakeAB();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.width(), 2u);
+  EXPECT_EQ(r.ColumnOf(0), 0u);
+  EXPECT_EQ(r.ColumnOf(1), 1u);
+  EXPECT_EQ(r.At(1, 1), 11u);
+}
+
+TEST(RelationTest, ColumnOfSparseSchema) {
+  Relation r(AttrSet::FromIds({2, 5, 9}));
+  EXPECT_EQ(r.ColumnOf(2), 0u);
+  EXPECT_EQ(r.ColumnOf(5), 1u);
+  EXPECT_EQ(r.ColumnOf(9), 2u);
+}
+
+TEST(RelationTest, DedupAndCompare) {
+  Relation r = MakeAB();
+  r.AppendRow({1, 10});
+  r.Dedup();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.SameContentAs(MakeAB()));
+  Relation other = MakeAB();
+  other.AppendRow({9, 9});
+  EXPECT_FALSE(r.SameContentAs(other));
+}
+
+TEST(OperatorsTest, SelectAndSelectIn) {
+  Relation r = MakeAB();
+  Relation sel = Select(r, 0, 1);
+  EXPECT_EQ(sel.size(), 2u);
+  Relation sel_in = SelectIn(r, 1, {10});
+  EXPECT_EQ(sel_in.size(), 2u);
+}
+
+TEST(OperatorsTest, ProjectDeduplicates) {
+  Relation r = MakeAB();
+  Relation p = Project(r, AttrSet::Single(0));
+  EXPECT_EQ(p.size(), 2u);  // values 1 and 2
+  EXPECT_EQ(p.width(), 1u);
+}
+
+TEST(OperatorsTest, DistinctValues) {
+  Relation r = MakeAB();
+  EXPECT_EQ(DistinctValues(r, 0), (std::vector<Value>{1, 2}));
+  EXPECT_EQ(DistinctValues(r, 1), (std::vector<Value>{10, 11}));
+}
+
+TEST(OperatorsTest, SemiJoinKeepsMatching) {
+  Relation left = MakeAB();
+  Relation right(AttrSet::FromIds({1, 2}));  // B, C
+  right.AppendRow({10, 100});
+  Relation result = SemiJoin(left, right);
+  EXPECT_EQ(result.size(), 2u);  // the two B=10 rows
+}
+
+TEST(OperatorsTest, SemiJoinDisjointSchemas) {
+  Relation left = MakeAB();
+  Relation right(AttrSet::Single(5));
+  EXPECT_TRUE(SemiJoin(left, right).empty());  // right empty
+  right.AppendRow({7});
+  EXPECT_EQ(SemiJoin(left, right).size(), left.size());
+}
+
+TEST(OperatorsTest, HashJoinNatural) {
+  Relation left = MakeAB();
+  Relation right(AttrSet::FromIds({1, 2}));  // B, C
+  right.AppendRow({10, 100});
+  right.AppendRow({10, 101});
+  Relation joined = HashJoin(left, right);
+  // (1,10) and (2,10) each join with two C values.
+  EXPECT_EQ(joined.size(), 4u);
+  EXPECT_EQ(joined.attrs(), AttrSet::FromIds({0, 1, 2}));
+}
+
+TEST(OperatorsTest, HashJoinCartesianWhenDisjoint) {
+  Relation left = MakeAB();
+  Relation right(AttrSet::Single(5));
+  right.AppendRow({7});
+  right.AppendRow({8});
+  EXPECT_EQ(HashJoin(left, right).size(), 6u);
+}
+
+TEST(OperatorsTest, MultiwayJoinTriangleShape) {
+  Relation ab(AttrSet::FromIds({0, 1}));
+  ab.AppendRow({1, 2});
+  Relation bc(AttrSet::FromIds({1, 2}));
+  bc.AppendRow({2, 3});
+  Relation ca(AttrSet::FromIds({0, 2}));
+  ca.AppendRow({1, 3});
+  Relation result = MultiwayJoin({&ab, &bc, &ca});
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.row(0)[0], 1u);
+  EXPECT_EQ(result.row(0)[1], 2u);
+  EXPECT_EQ(result.row(0)[2], 3u);
+}
+
+TEST(OperatorsTest, DegreeHistogram) {
+  Relation r = MakeAB();
+  auto histogram = DegreeHistogram(r, 0);
+  ASSERT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram[0], (std::pair<Value, uint64_t>{1, 2}));
+  EXPECT_EQ(histogram[1], (std::pair<Value, uint64_t>{2, 1}));
+}
+
+}  // namespace
+}  // namespace coverpack

@@ -1,0 +1,100 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace coverpack {
+namespace {
+
+TEST(SimplexTest, SimpleMaximize) {
+  // max x + y s.t. x <= 2, y <= 3, x + y <= 4.
+  LinearProgram lp(2);
+  lp.AddLeq({Rational(1), Rational(0)}, Rational(2));
+  lp.AddLeq({Rational(0), Rational(1)}, Rational(3));
+  lp.AddLeq({Rational(1), Rational(1)}, Rational(4));
+  lp.SetObjective({Rational(1), Rational(1)});
+  LpResult result = lp.Maximize();
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_EQ(result.objective, Rational(4));
+}
+
+TEST(SimplexTest, FractionalOptimum) {
+  // max x + y s.t. 2x + y <= 2, x + 2y <= 2 -> optimum 4/3 at (2/3, 2/3).
+  LinearProgram lp(2);
+  lp.AddLeq({Rational(2), Rational(1)}, Rational(2));
+  lp.AddLeq({Rational(1), Rational(2)}, Rational(2));
+  lp.SetObjective({Rational(1), Rational(1)});
+  LpResult result = lp.Maximize();
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_EQ(result.objective, Rational(4, 3));
+  EXPECT_EQ(result.solution[0], Rational(2, 3));
+  EXPECT_EQ(result.solution[1], Rational(2, 3));
+}
+
+TEST(SimplexTest, PhaseOneNeeded) {
+  // min x + y s.t. x + y >= 3, x <= 5, y <= 5. Optimum 3.
+  LinearProgram lp(2);
+  lp.AddGeq({Rational(1), Rational(1)}, Rational(3));
+  lp.AddLeq({Rational(1), Rational(0)}, Rational(5));
+  lp.AddLeq({Rational(0), Rational(1)}, Rational(5));
+  lp.SetObjective({Rational(1), Rational(1)});
+  LpResult result = lp.Minimize();
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_EQ(result.objective, Rational(3));
+}
+
+TEST(SimplexTest, Infeasible) {
+  // x >= 3 and x <= 1.
+  LinearProgram lp(1);
+  lp.AddGeq({Rational(1)}, Rational(3));
+  lp.AddLeq({Rational(1)}, Rational(1));
+  lp.SetObjective({Rational(1)});
+  LpResult result = lp.Maximize();
+  EXPECT_EQ(result.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, Unbounded) {
+  // max x s.t. -x <= 1 (x can grow forever).
+  LinearProgram lp(1);
+  lp.AddLeq({Rational(-1)}, Rational(1));
+  lp.SetObjective({Rational(1)});
+  LpResult result = lp.Maximize();
+  EXPECT_EQ(result.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x + 2y s.t. x + y == 1, x,y >= 0 -> optimum 2 at (0,1).
+  LinearProgram lp(2);
+  lp.AddEq({Rational(1), Rational(1)}, Rational(1));
+  lp.SetObjective({Rational(1), Rational(2)});
+  LpResult result = lp.Maximize();
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_EQ(result.objective, Rational(2));
+  EXPECT_EQ(result.solution[0], Rational(0));
+  EXPECT_EQ(result.solution[1], Rational(1));
+}
+
+TEST(SimplexTest, DegenerateDoesNotCycle) {
+  // Classic degenerate setup; Bland's rule must terminate.
+  LinearProgram lp(4);
+  lp.AddLeq({Rational(1, 2), Rational(-11, 2), Rational(-5, 2), Rational(9)}, Rational(0));
+  lp.AddLeq({Rational(1, 2), Rational(-3, 2), Rational(-1, 2), Rational(1)}, Rational(0));
+  lp.AddLeq({Rational(1), Rational(0), Rational(0), Rational(0)}, Rational(1));
+  lp.SetObjective({Rational(10), Rational(-57), Rational(-9), Rational(-24)});
+  LpResult result = lp.Maximize();
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_EQ(result.objective, Rational(1));
+}
+
+TEST(SimplexTest, MinimizeFlipsSignBack) {
+  // min 3x s.t. x >= 2 (x <= 10 keeps it bounded) -> 6.
+  LinearProgram lp(1);
+  lp.AddGeq({Rational(1)}, Rational(2));
+  lp.AddLeq({Rational(1)}, Rational(10));
+  lp.SetObjective({Rational(3)});
+  LpResult result = lp.Minimize();
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_EQ(result.objective, Rational(6));
+}
+
+}  // namespace
+}  // namespace coverpack

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/acyclic_join.h"
+#include "query/catalog.h"
+#include "query/parser.h"
+#include "workload/generators.h"
+
+namespace coverpack {
+namespace {
+
+TEST(TraceTest, DisabledByDefault) {
+  Hypergraph q = catalog::Line3();
+  Rng rng(1);
+  Instance instance = workload::UniformInstance(q, 50, 8, &rng);
+  AcyclicRunOptions options;
+  options.p = 4;
+  AcyclicRunResult run = ComputeAcyclicJoin(q, instance, options);
+  EXPECT_TRUE(run.trace.empty());
+}
+
+TEST(TraceTest, RecordsDecompositionDecisions) {
+  Hypergraph q = catalog::Line3();
+  Rng rng(2);
+  Instance instance = workload::UniformInstance(q, 100, 10, &rng);
+  AcyclicRunOptions options;
+  options.p = 8;
+  options.trace = true;
+  AcyclicRunResult run = ComputeAcyclicJoin(q, instance, options);
+  ASSERT_FALSE(run.trace.empty());
+  // The first event is the top-level Case I on the full query.
+  EXPECT_EQ(run.trace[0].kind, TraceEvent::kCaseOne);
+  EXPECT_EQ(run.trace[0].depth, 0);
+  EXPECT_FALSE(run.trace[0].attribute.empty());
+  EXPECT_GT(run.trace[0].light_groups + run.trace[0].heavy_values, 0u);
+  // Depths increase into the recursion and the recursion bottoms out.
+  bool saw_base = false;
+  for (const TraceEvent& event : run.trace) {
+    if (event.kind == TraceEvent::kBaseCase) saw_base = true;
+    EXPECT_GE(event.depth, 0);
+  }
+  EXPECT_TRUE(saw_base);
+}
+
+TEST(TraceTest, CaseTwoRecordsComponents) {
+  Hypergraph q = ParseQuery("R1(A,B), R2(X,Y)");
+  Instance instance(q);
+  for (Value v = 0; v < 20; ++v) {
+    instance[0].AppendRow({v, v});
+    instance[1].AppendRow({v, v + 1});
+  }
+  AcyclicRunOptions options;
+  options.p = 4;
+  options.trace = true;
+  AcyclicRunResult run = ComputeAcyclicJoin(q, instance, options);
+  ASSERT_FALSE(run.trace.empty());
+  EXPECT_EQ(run.trace[0].kind, TraceEvent::kCaseTwo);
+  EXPECT_EQ(run.trace[0].components, 2u);
+}
+
+TEST(TraceTest, PolicyChangesChoiceSet) {
+  Hypergraph q = catalog::Line3();
+  Instance instance = workload::MatchingInstance(q, 200);
+  AcyclicRunOptions conservative;
+  conservative.policy = RunPolicy::kConservative;
+  conservative.trace = true;
+  conservative.p = 8;
+  AcyclicRunOptions optimal = conservative;
+  optimal.policy = RunPolicy::kOptimal;
+  AcyclicRunResult c = ComputeAcyclicJoin(q, instance, conservative);
+  AcyclicRunResult o = ComputeAcyclicJoin(q, instance, optimal);
+  ASSERT_FALSE(c.trace.empty());
+  ASSERT_FALSE(o.trace.empty());
+  // Conservative picks a single leaf; optimal takes all of E_x.
+  EXPECT_EQ(c.trace[0].choice_set.find(','), std::string::npos);
+  EXPECT_NE(o.trace[0].choice_set.find(','), std::string::npos);
+}
+
+TEST(TraceTest, TraceToStringRendersTree) {
+  Hypergraph q = catalog::Path(4);
+  Instance instance = workload::MatchingInstance(q, 100);
+  AcyclicRunOptions options;
+  options.trace = true;
+  options.p = 8;
+  AcyclicRunResult run = ComputeAcyclicJoin(q, instance, options);
+  std::string text = TraceToString(run.trace);
+  EXPECT_NE(text.find("case-I"), std::string::npos);
+  EXPECT_NE(text.find("S^x="), std::string::npos);
+  EXPECT_NE(text.find("tuples]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coverpack
