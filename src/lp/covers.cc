@@ -29,7 +29,7 @@ EdgeWeighting FractionalEdgeCover(const Hypergraph& query) {
   std::vector<Rational> ones(query.num_edges(), Rational(1));
   lp.SetObjective(ones);
   LpResult result = lp.Minimize();
-  CP_CHECK(result.status == LpStatus::kOptimal) << "edge cover LP must be feasible";
+  CP_CHECK_EQ(result.status, LpStatus::kOptimal) << "edge cover LP must be feasible";
   return EdgeWeighting{result.objective, result.solution};
 }
 
@@ -51,7 +51,7 @@ EdgeWeighting FractionalEdgePacking(const Hypergraph& query) {
   }
   lp.SetObjective(ones);
   LpResult result = lp.Maximize();
-  CP_CHECK(result.status == LpStatus::kOptimal) << "edge packing LP must be solvable";
+  CP_CHECK_EQ(result.status, LpStatus::kOptimal) << "edge packing LP must be solvable";
   return EdgeWeighting{result.objective, result.solution};
 }
 
@@ -82,7 +82,7 @@ VertexWeighting FractionalVertexCover(const Hypergraph& query) {
   // minimization cannot be degenerate.
   lp.SetObjective(objective);
   LpResult result = lp.Minimize();
-  CP_CHECK(result.status == LpStatus::kOptimal) << "vertex cover LP must be feasible";
+  CP_CHECK_EQ(result.status, LpStatus::kOptimal) << "vertex cover LP must be feasible";
   return VertexWeighting{result.objective, result.solution};
 }
 
@@ -113,7 +113,7 @@ Rational RhoStarOfAttrs(const Hypergraph& query, AttrSet attrs) {
   std::vector<Rational> ones(query.num_edges(), Rational(1));
   lp.SetObjective(ones);
   LpResult result = lp.Minimize();
-  CP_CHECK(result.status == LpStatus::kOptimal);
+  CP_CHECK_EQ(result.status, LpStatus::kOptimal);
   return result.objective;
 }
 

@@ -1,10 +1,24 @@
 #include "lp/simplex.h"
 
 #include <algorithm>
+#include <ostream>
 
+#include "util/audit.h"
 #include "util/logging.h"
 
 namespace coverpack {
+
+std::ostream& operator<<(std::ostream& os, LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return os << "optimal";
+    case LpStatus::kInfeasible:
+      return os << "infeasible";
+    case LpStatus::kUnbounded:
+      return os << "unbounded";
+  }
+  return os << "unknown";
+}
 
 namespace {
 
@@ -73,7 +87,13 @@ class Dictionary {
         }
       }
       if (leave_row == m_) return false;  // unbounded
+      CP_AUDIT_ONLY(const Rational objective_before = v_;)
       Pivot(leave_row, enter_col);
+      // Pivoting from a feasible dictionary must preserve feasibility, and
+      // (maximization) the objective may only stay or grow — Bland's rule
+      // admits degenerate pivots that leave it unchanged but never a drop.
+      CP_AUDIT(Feasible());
+      CP_AUDIT(!(v_ < objective_before));
     }
   }
 
@@ -113,7 +133,7 @@ class Dictionary {
     for (size_t j = 0; j < n_; ++j) {
       if (nonbasic_[j] == aux_id) aux_col = j;
     }
-    CP_CHECK(aux_col != SIZE_MAX) << "auxiliary not nonbasic after phase one";
+    CP_CHECK_NE(aux_col, SIZE_MAX) << "auxiliary not nonbasic after phase one";
     for (auto& row : a_) row.erase(row.begin() + static_cast<long>(aux_col));
     nonbasic_.erase(nonbasic_.begin() + static_cast<long>(aux_col));
     --n_;

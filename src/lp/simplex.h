@@ -10,6 +10,7 @@
 #ifndef COVERPACK_LP_SIMPLEX_H_
 #define COVERPACK_LP_SIMPLEX_H_
 
+#include <iosfwd>
 #include <vector>
 
 #include "util/rational.h"
@@ -22,6 +23,10 @@ enum class LpStatus {
   kInfeasible,
   kUnbounded,
 };
+
+/// Human-readable status name (so CP_CHECK_EQ failures print "optimal"
+/// instead of a raw enum value).
+std::ostream& operator<<(std::ostream& os, LpStatus status);
 
 /// Solution of max c.x subject to A x <= b, x >= 0.
 struct LpResult {

@@ -5,6 +5,7 @@
 
 #include "lp/simplex.h"
 #include "relation/oracle.h"
+#include "util/audit.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -33,10 +34,12 @@ void FitSharesToP(std::vector<uint32_t>* shares, uint32_t p, uint64_t* grid_size
   };
   while (product() > p) {
     auto it = std::max_element(shares->begin(), shares->end());
-    CP_CHECK(*it > 1) << "cannot fit shares into p";
+    CP_CHECK_GT(*it, 1u) << "cannot fit shares into p";
     --(*it);
   }
   *grid_size = product();
+  CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyGridFits(*shares, *grid_size, p,
+                                                        "FitSharesToP");)
 }
 
 /// floor(p^(num/den)) computed exactly when p^num fits in 64 bits, with a
@@ -74,7 +77,7 @@ ShareVector OptimizeShares(const Hypergraph& query, uint32_t p) {
   objective[num_attrs] = Rational(1);
   lp.SetObjective(objective);
   LpResult solved = lp.Maximize();
-  CP_CHECK(solved.status == LpStatus::kOptimal);
+  CP_CHECK_EQ(solved.status, LpStatus::kOptimal);
 
   ShareVector result;
   result.objective = solved.objective;
@@ -160,6 +163,8 @@ ShareVector OptimizeSharesForSizes(const Hypergraph& query,
   }
   result.grid_size = product(result.shares);
   CP_CHECK_LE(result.grid_size, p);
+  CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyGridFits(result.shares, result.grid_size, p,
+                                                        "OptimizeSharesForSizes");)
   return result;
 }
 
@@ -170,6 +175,8 @@ HypercubeResult HypercubeJoin(Cluster* cluster, const Hypergraph& query,
   uint32_t num_attrs = query.num_attrs();
   CP_CHECK_EQ(shares.shares.size(), num_attrs);
   CP_CHECK_LE(shares.grid_size, cluster->p());
+  CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyGridFits(shares.shares, shares.grid_size,
+                                                        cluster->p(), "HypercubeJoin");)
 
   // Mixed-radix strides over attribute dimensions.
   std::vector<uint64_t> stride(num_attrs, 0);
@@ -184,12 +191,15 @@ HypercubeResult HypercubeJoin(Cluster* cluster, const Hypergraph& query,
   std::vector<Instance> per_server;
   if (collect) per_server.assign(shares.grid_size, Instance(query));
   std::vector<uint64_t> receives(shares.grid_size, 0);
+  CP_AUDIT_ONLY(uint64_t expected_receives = 0;
+                const uint64_t tracker_before = cluster->tracker().TotalCommunication();)
 
   for (uint32_t e = 0; e < query.num_edges(); ++e) {
     const Relation& relation = instance[e];
     AttrSet edge_attrs = query.edge(e).attrs;
     // Free dimensions: attributes not in this relation with share > 1.
     std::vector<AttrId> free_dims;
+    free_dims.reserve(num_attrs);
     uint64_t free_combos = 1;
     for (AttrId v = 0; v < num_attrs; ++v) {
       if (!edge_attrs.Contains(v) && shares.shares[v] > 1) {
@@ -197,8 +207,13 @@ HypercubeResult HypercubeJoin(Cluster* cluster, const Hypergraph& query,
         free_combos *= shares.shares[v];
       }
     }
+    // Hypercube replication factor: every tuple of e lands on exactly
+    // free_combos grid cells, one per combination of free coordinates.
+    CP_AUDIT_ONLY(expected_receives += relation.size() * free_combos;)
     std::vector<uint32_t> cols;
     std::vector<AttrId> bound;
+    cols.reserve(edge_attrs.size());
+    bound.reserve(edge_attrs.size());
     for (AttrId v : edge_attrs.ToVector()) {
       bound.push_back(v);
       cols.push_back(relation.ColumnOf(v));
@@ -228,6 +243,15 @@ HypercubeResult HypercubeJoin(Cluster* cluster, const Hypergraph& query,
     if (receives[s] != 0) cluster->tracker().Add(round, s, receives[s]);
     result.max_receive_load = std::max(result.max_receive_load, receives[s]);
   }
+  // Routing conservation: the grid received exactly size(e) * free_combos(e)
+  // tuples per relation, and the tracker was charged exactly that volume.
+  CP_AUDIT_ONLY(
+      uint64_t total_received = 0; for (uint64_t r : receives) total_received += r;
+      audit::SimulatorAuditor::VerifyExchange(expected_receives, total_received,
+                                              "HypercubeJoin routing");
+      audit::SimulatorAuditor::VerifyConservation(tracker_before, total_received,
+                                                  cluster->tracker().TotalCommunication(),
+                                                  "HypercubeJoin tracker charge");)
 
   if (collect) {
     result.results = DistRelation(query.AllAttrs(), cluster->p());

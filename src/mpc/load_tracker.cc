@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/audit.h"
 #include "util/logging.h"
 
 namespace coverpack {
@@ -49,16 +50,34 @@ uint64_t LoadTracker::TotalCommunication() const {
 void LoadTracker::Merge(const LoadTracker& child, uint32_t server_offset,
                         uint32_t round_offset) {
   CP_CHECK_LE(server_offset + child.num_servers_, num_servers_);
+  // Disjoint server groups: the merge must transfer the child's volume
+  // exactly, with replication factor 1.
+  CP_AUDIT_ONLY(const uint64_t total_before = TotalCommunication();
+                const uint64_t child_total = child.TotalCommunication();)
   for (uint32_t r = 0; r < child.num_rounds(); ++r) {
     for (uint32_t s = 0; s < child.num_servers_; ++s) {
       uint64_t load = child.rounds_[r][s];
       if (load != 0) Add(round_offset + r, server_offset + s, load);
     }
   }
+  CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyConservation(
+      total_before, child_total, TotalCommunication(), "LoadTracker::Merge");)
 }
 
 void LoadTracker::MergeMapped(const LoadTracker& child, uint32_t round_offset,
                               const std::function<uint32_t(uint32_t)>& physical_to_child) {
+  // Each child server's column is replicated once per physical server that
+  // maps to it, so the merged volume is the child's volume scaled by the
+  // (per-column) replication factor. Recompute that expectation up front
+  // and hold the merge to it.
+  CP_AUDIT_ONLY(
+      const uint64_t total_before = TotalCommunication();
+      uint64_t expected_delta = 0;
+      for (uint32_t s = 0; s < num_servers_; ++s) {
+        uint32_t c = physical_to_child(s);
+        if (c >= child.num_servers_) continue;
+        for (uint32_t r = 0; r < child.num_rounds(); ++r) expected_delta += child.At(r, c);
+      })
   for (uint32_t s = 0; s < num_servers_; ++s) {
     uint32_t c = physical_to_child(s);
     if (c >= child.num_servers_) continue;
@@ -67,6 +86,8 @@ void LoadTracker::MergeMapped(const LoadTracker& child, uint32_t round_offset,
       if (load != 0) Add(round_offset + r, s, load);
     }
   }
+  CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyConservation(
+      total_before, expected_delta, TotalCommunication(), "LoadTracker::MergeMapped");)
 }
 
 }  // namespace coverpack

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "relation/operators.h"
+#include "util/audit.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -26,10 +27,12 @@ DistRelation HashPartition(Cluster* cluster, const DistRelation& input, AttrSet 
   CP_CHECK(key.IsSubsetOf(input.attrs()));
   uint32_t p = cluster->p();
   DistRelation output(input.attrs(), p);
-  std::vector<uint32_t> cols;
   // Column ranks are schema-wide, identical across shards.
+  const Relation schema(input.attrs());
+  std::vector<uint32_t> cols;
+  cols.reserve(key.size());
   for (AttrId attr : key.ToVector()) {
-    cols.push_back(Relation(input.attrs()).ColumnOf(attr));
+    cols.push_back(schema.ColumnOf(attr));
   }
   for (uint32_t s = 0; s < input.num_shards(); ++s) {
     const Relation& shard = input.shard(s);
@@ -38,27 +41,44 @@ DistRelation HashPartition(Cluster* cluster, const DistRelation& input, AttrSet 
       output.shard(target).AppendRow(shard.row(i));
     }
   }
+  CP_AUDIT_ONLY(const uint64_t tracker_before = cluster->tracker().TotalCommunication();)
   for (uint32_t s = 0; s < p; ++s) {
     if (!output.shard(s).empty()) {
       cluster->tracker().Add(round, s, output.shard(s).size());
     }
   }
+  // Repartitioning may neither drop nor duplicate tuples, and the tracker
+  // must be charged exactly the volume that changed hands.
+  CP_AUDIT_ONLY(
+      audit::SimulatorAuditor::VerifyExchange(input.TotalSize(), output.TotalSize(),
+                                              "HashPartition");
+      audit::SimulatorAuditor::VerifyConservation(tracker_before, output.TotalSize(),
+                                                  cluster->tracker().TotalCommunication(),
+                                                  "HashPartition tracker charge");)
   return output;
 }
 
 void ChargeBroadcast(Cluster* cluster, size_t data_size, uint32_t round) {
   if (data_size == 0) return;
+  CP_AUDIT_ONLY(const uint64_t tracker_before = cluster->tracker().TotalCommunication();)
   for (uint32_t s = 0; s < cluster->p(); ++s) {
     cluster->tracker().Add(round, s, data_size);
   }
+  CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyConservation(
+      tracker_before, static_cast<uint64_t>(data_size) * cluster->p(),
+      cluster->tracker().TotalCommunication(), "ChargeBroadcast");)
 }
 
 void ChargeLinear(Cluster* cluster, uint64_t total_items, uint32_t round) {
   if (total_items == 0) return;
   uint64_t per_server = CeilDiv(total_items, cluster->p());
+  CP_AUDIT_ONLY(const uint64_t tracker_before = cluster->tracker().TotalCommunication();)
   for (uint32_t s = 0; s < cluster->p(); ++s) {
     cluster->tracker().Add(round, s, per_server);
   }
+  CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyConservation(
+      tracker_before, per_server * cluster->p(), cluster->tracker().TotalCommunication(),
+      "ChargeLinear");)
 }
 
 std::unordered_map<Value, uint64_t> DegreeByValue(Cluster* cluster, const DistRelation& input,
@@ -76,6 +96,12 @@ std::unordered_map<Value, uint64_t> DegreeByValue(Cluster* cluster, const DistRe
     pair_count += local.size();
     for (const auto& [value, count] : local) degrees[value] += count;
   }
+  // Reduce-by-key conserves counts: the degrees of all values must sum to
+  // exactly the number of input tuples.
+  CP_AUDIT_ONLY(
+      uint64_t degree_sum = 0; for (const auto& [value, count] : degrees) degree_sum += count;
+      audit::SimulatorAuditor::VerifyExchange(input.TotalSize(), degree_sum,
+                                              "DegreeByValue count conservation");)
   ChargeLinear(cluster, pair_count, *round);
   ChargeLinear(cluster, degrees.size(), *round + 1);
   *round += 2;
@@ -93,6 +119,8 @@ DistRelation SemiJoinMpc(Cluster* cluster, const DistRelation& left, const DistR
   for (uint32_t s = 0; s < cluster->p(); ++s) {
     output.shard(s) = SemiJoin(left_parts.shard(s), right_parts.shard(s));
   }
+  // A semi-join filters the left side; it can never grow it.
+  CP_AUDIT_LE(output.TotalSize(), left.TotalSize());
   return output;
 }
 
@@ -107,6 +135,7 @@ std::vector<uint32_t> ParallelPack(Cluster* cluster, const std::vector<uint64_t>
                    [&](size_t a, size_t b) { return weights[a] > weights[b]; });
   std::vector<uint32_t> bin_of(weights.size(), 0);
   std::vector<uint64_t> bin_load;
+  bin_load.reserve(weights.size());
   for (size_t i : order) {
     CP_CHECK_LE(weights[i], capacity) << "parallel-packing input exceeds capacity";
     bool placed = false;
@@ -123,6 +152,19 @@ std::vector<uint32_t> ParallelPack(Cluster* cluster, const std::vector<uint64_t>
       bin_of[i] = static_cast<uint32_t>(bin_load.size() - 1);
     }
   }
+  // The [15] guarantee this simulator charges for: no bin above 2*capacity,
+  // at most one bin under capacity, and no weight lost or double-binned.
+  CP_AUDIT_ONLY(
+      uint64_t weight_sum = 0; for (uint64_t w : weights) weight_sum += w;
+      uint64_t binned_sum = 0; uint32_t under_full = 0;
+      for (uint64_t load : bin_load) {
+        binned_sum += load;
+        CP_CHECK_LE(load, 2 * capacity) << "parallel-packing bin overflows 2*capacity ";
+        if (load < capacity) ++under_full;
+      }
+      CP_AUDIT_LE(under_full, 1u);
+      audit::SimulatorAuditor::VerifyExchange(weight_sum, binned_sum,
+                                              "ParallelPack weight conservation");)
   ChargeLinear(cluster, weights.size(), *round);
   *round += 1;
   return bin_of;

@@ -1,0 +1,67 @@
+#include "util/audit.h"
+
+#include <atomic>
+#include <numeric>
+
+namespace coverpack {
+namespace audit {
+
+namespace {
+
+std::atomic<uint64_t> g_audit_checks{0};
+
+}  // namespace
+
+uint64_t SimulatorAuditor::checks_performed() {
+  return g_audit_checks.load(std::memory_order_relaxed);
+}
+
+void SimulatorAuditor::ResetStats() { g_audit_checks.store(0, std::memory_order_relaxed); }
+
+void SimulatorAuditor::NoteCheck() { g_audit_checks.fetch_add(1, std::memory_order_relaxed); }
+
+void SimulatorAuditor::VerifyConservation(uint64_t before, uint64_t delta, uint64_t after,
+                                          const char* context) {
+  NoteCheck();
+  CP_CHECK_EQ(after, before + delta)
+      << "conservation violated in " << context << ": " << before << " + " << delta
+      << " != " << after << " ";
+}
+
+void SimulatorAuditor::VerifyExchange(uint64_t sent, uint64_t received, const char* context) {
+  NoteCheck();
+  CP_CHECK_EQ(received, sent)
+      << "exchange imbalance in " << context << ": sent " << sent << ", received " << received
+      << " ";
+}
+
+void SimulatorAuditor::VerifyGridFits(const std::vector<uint32_t>& shares, uint64_t grid_size,
+                                      uint64_t p, const char* context) {
+  NoteCheck();
+  uint64_t product = 1;
+  for (uint32_t share : shares) {
+    CP_CHECK_GE(share, 1u) << "degenerate grid dimension in " << context << " ";
+    // The running product can only legitimately stay <= p; anything past
+    // 2^40 has already blown the bound and saturates to avoid overflow.
+    if (product > (uint64_t{1} << 40)) break;
+    product *= share;
+  }
+  CP_CHECK_EQ(product, grid_size) << "grid size mismatch in " << context << " ";
+  CP_CHECK_LE(grid_size, p) << "hypercube grid exceeds cluster in " << context << " ";
+}
+
+void SimulatorAuditor::VerifyNormalizedFraction(int64_t num, int64_t den, const char* context) {
+  NoteCheck();
+  CP_CHECK_GT(den, 0) << "denormalized rational (den <= 0) in " << context << " ";
+  const uint64_t magnitude =
+      num < 0 ? uint64_t{0} - static_cast<uint64_t>(num) : static_cast<uint64_t>(num);
+  if (num == 0) {
+    CP_CHECK_EQ(den, 1) << "zero rational not canonical in " << context << " ";
+  } else {
+    CP_CHECK_EQ(std::gcd(magnitude, static_cast<uint64_t>(den)), 1u)
+        << "rational not in lowest terms in " << context << ": " << num << "/" << den << " ";
+  }
+}
+
+}  // namespace audit
+}  // namespace coverpack

@@ -1,0 +1,143 @@
+/// \file audit.h
+/// \brief Compile-time-gated runtime invariant audits for the MPC simulator.
+///
+/// The whole value of this reproduction is *exact* load accounting: every
+/// claimed bound is checked by comparing LoadTracker::MaxLoad() against the
+/// paper's closed-form N / p^(1/x) exponents, so a silent accounting bug (a
+/// lost tuple in a tracker merge, a denormalized Rational in a simplex
+/// pivot, a hypercube grid whose dimensions exceed p) corrupts every bench
+/// downstream without failing any test. This header provides the defense:
+///
+///  * CP_AUDIT / CP_AUDIT_EQ / ... — check macros that compile to nothing
+///    unless the build defines COVERPACK_AUDIT (cmake -DCOVERPACK_AUDIT=ON).
+///    Hot paths use them for conservation checks that would be too costly
+///    to run unconditionally (they often recompute whole-tracker totals).
+///  * CP_AUDIT_ONLY(...) — splices statements (typically the "before"
+///    snapshots those checks compare against) into audit builds only.
+///  * SimulatorAuditor — named verifiers for the recurring invariant
+///    shapes (conservation, exchange symmetry, grid capacity, normalized
+///    fractions) plus a global audit counter tests can use to prove the
+///    hooks actually fired. The verifiers themselves are compiled in every
+///    build so unit tests exercise them unconditionally; only the hot-path
+///    hooks are gated.
+///
+/// Every audit failure aborts through the CP_CHECK machinery — an audit
+/// that fails means a theorem-checking quantity is already corrupt, and
+/// continuing would validate garbage against the paper's bounds.
+
+#ifndef COVERPACK_UTIL_AUDIT_H_
+#define COVERPACK_UTIL_AUDIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace coverpack {
+namespace audit {
+
+/// Process-wide invariant auditor for the simulator. All state is static:
+/// audits run inside primitives that have no natural place to thread an
+/// auditor instance through, and the only mutable state is one atomic
+/// counter.
+class SimulatorAuditor {
+ public:
+  /// True iff this build compiled the CP_AUDIT hot-path hooks in.
+  static constexpr bool kCompiledIn =
+#ifdef COVERPACK_AUDIT
+      true;
+#else
+      false;
+#endif
+
+  /// Number of audit checks performed since process start (or ResetStats).
+  static uint64_t checks_performed();
+
+  /// Resets the audit counter (tests only).
+  static void ResetStats();
+
+  /// Bumps the audit counter; called by the CP_AUDIT macros and the named
+  /// verifiers below. Thread-safe.
+  static void NoteCheck();
+
+  // ---- Named verifiers ----------------------------------------------------
+  // Always compiled; abort via CP_CHECK on violation. `context` names the
+  // operation being audited and is echoed in the failure message.
+
+  /// An operation that reported adding `delta` units to a quantity that
+  /// was `before` must leave it at exactly `before + delta`: merges and
+  /// charge primitives may neither lose nor invent communication volume.
+  static void VerifyConservation(uint64_t before, uint64_t delta, uint64_t after,
+                                 const char* context);
+
+  /// A routing/exchange step must deliver exactly as many tuples as were
+  /// sent into it.
+  static void VerifyExchange(uint64_t sent, uint64_t received, const char* context);
+
+  /// A hypercube share vector must satisfy prod_i shares[i] == grid_size
+  /// and grid_size <= p, with every dimension >= 1.
+  static void VerifyGridFits(const std::vector<uint32_t>& shares, uint64_t grid_size,
+                             uint64_t p, const char* context);
+
+  /// A num/den pair claiming to be a normalized rational must have den > 0
+  /// and gcd(|num|, den) == 1.
+  static void VerifyNormalizedFraction(int64_t num, int64_t den, const char* context);
+};
+
+}  // namespace audit
+}  // namespace coverpack
+
+#ifdef COVERPACK_AUDIT
+
+#define CP_AUDIT(condition)                                \
+  do {                                                     \
+    ::coverpack::audit::SimulatorAuditor::NoteCheck();     \
+    CP_CHECK(condition);                                   \
+  } while (false)
+#define CP_INTERNAL_AUDIT_OP(check, a, b)                  \
+  do {                                                     \
+    ::coverpack::audit::SimulatorAuditor::NoteCheck();     \
+    check(a, b);                                           \
+  } while (false)
+#define CP_AUDIT_EQ(a, b) CP_INTERNAL_AUDIT_OP(CP_CHECK_EQ, a, b)
+#define CP_AUDIT_NE(a, b) CP_INTERNAL_AUDIT_OP(CP_CHECK_NE, a, b)
+#define CP_AUDIT_LT(a, b) CP_INTERNAL_AUDIT_OP(CP_CHECK_LT, a, b)
+#define CP_AUDIT_LE(a, b) CP_INTERNAL_AUDIT_OP(CP_CHECK_LE, a, b)
+#define CP_AUDIT_GT(a, b) CP_INTERNAL_AUDIT_OP(CP_CHECK_GT, a, b)
+#define CP_AUDIT_GE(a, b) CP_INTERNAL_AUDIT_OP(CP_CHECK_GE, a, b)
+
+/// Splices its arguments into the enclosing scope in audit builds only.
+/// Use for snapshots whose sole consumers are CP_AUDIT checks.
+#define CP_AUDIT_ONLY(...) __VA_ARGS__
+
+#else  // !COVERPACK_AUDIT
+
+// The no-op forms swallow their arguments entirely: operands may reference
+// variables that only CP_AUDIT_ONLY declares, so they must not be compiled
+// here at all.
+#define CP_AUDIT(condition) \
+  do {                      \
+  } while (false)
+#define CP_AUDIT_EQ(a, b) \
+  do {                    \
+  } while (false)
+#define CP_AUDIT_NE(a, b) \
+  do {                    \
+  } while (false)
+#define CP_AUDIT_LT(a, b) \
+  do {                    \
+  } while (false)
+#define CP_AUDIT_LE(a, b) \
+  do {                    \
+  } while (false)
+#define CP_AUDIT_GT(a, b) \
+  do {                    \
+  } while (false)
+#define CP_AUDIT_GE(a, b) \
+  do {                    \
+  } while (false)
+#define CP_AUDIT_ONLY(...)
+
+#endif  // COVERPACK_AUDIT
+
+#endif  // COVERPACK_UTIL_AUDIT_H_

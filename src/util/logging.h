@@ -5,14 +5,27 @@
 /// message on failure; CP_DCHECK compiles away in NDEBUG builds. Both are
 /// for programming errors (broken invariants), not for data-dependent
 /// conditions, which should surface through Status.
+///
+/// The binary forms CP_CHECK_EQ/NE/LT/LE/GT/GE evaluate each operand
+/// exactly once and print both operand values on failure, so
+///
+///   CP_CHECK_EQ(tracker.TotalCommunication(), before + delta);
+///
+/// reports `a == b (120 vs 117)` instead of just the failed expression.
+/// CP_DCHECK_* are the NDEBUG-stripped variants; their operands stay
+/// odr-used in release builds, so variables referenced only in checks do
+/// not trigger -Wunused.
 
 #ifndef COVERPACK_UTIL_LOGGING_H_
 #define COVERPACK_UTIL_LOGGING_H_
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 namespace coverpack {
 namespace internal {
@@ -24,8 +37,16 @@ class FatalLogMessage {
     stream_ << file << ":" << line << " check failed: " << condition << " ";
   }
 
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  /// Emits the message (with trailing newline) as one std::cerr write so
+  /// failures racing on different threads cannot interleave, then aborts.
   [[noreturn]] ~FatalLogMessage() {
-    std::cerr << stream_.str() << std::endl;
+    stream_ << '\n';
+    const std::string message = stream_.str();
+    std::cerr.write(message.data(), static_cast<std::streamsize>(message.size()));
+    std::cerr.flush();
     std::abort();
   }
 
@@ -39,6 +60,49 @@ class FatalLogMessage {
   std::ostringstream stream_;
 };
 
+/// True iff a `const T&` can be streamed into std::ostream.
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>> : std::true_type {};
+
+/// Streams `value` if its type is printable, a placeholder otherwise, so
+/// the CP_CHECK_* macros work on any operand type.
+template <typename T>
+void PrintCheckOperand(std::ostream& os, const T& value) {
+  if constexpr (IsStreamable<T>::value) {
+    os << value;
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+// One function template per comparison: evaluates the operands it is
+// handed (already evaluated exactly once by the macro), returns null on
+// success or the full failure message on violation.
+#define CP_INTERNAL_DEFINE_CHECK_OP(name, op)                                   \
+  template <typename A, typename B>                                             \
+  std::unique_ptr<std::string> name(const A& a, const B& b, const char* expr) { \
+    if (a op b) return nullptr;                                                 \
+    std::ostringstream oss;                                                     \
+    oss << expr << " (";                                                        \
+    PrintCheckOperand(oss, a);                                                  \
+    oss << " vs ";                                                              \
+    PrintCheckOperand(oss, b);                                                  \
+    oss << ")";                                                                 \
+    return std::make_unique<std::string>(oss.str());                            \
+  }
+
+CP_INTERNAL_DEFINE_CHECK_OP(CheckOpEq, ==)
+CP_INTERNAL_DEFINE_CHECK_OP(CheckOpNe, !=)
+CP_INTERNAL_DEFINE_CHECK_OP(CheckOpLt, <)
+CP_INTERNAL_DEFINE_CHECK_OP(CheckOpLe, <=)
+CP_INTERNAL_DEFINE_CHECK_OP(CheckOpGt, >)
+CP_INTERNAL_DEFINE_CHECK_OP(CheckOpGe, >=)
+
+#undef CP_INTERNAL_DEFINE_CHECK_OP
+
 }  // namespace internal
 }  // namespace coverpack
 
@@ -46,18 +110,45 @@ class FatalLogMessage {
   if (!(condition))                                                    \
   ::coverpack::internal::FatalLogMessage(__FILE__, __LINE__, #condition)
 
-#define CP_CHECK_EQ(a, b) CP_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
-#define CP_CHECK_NE(a, b) CP_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
-#define CP_CHECK_LT(a, b) CP_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
-#define CP_CHECK_LE(a, b) CP_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
-#define CP_CHECK_GT(a, b) CP_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
-#define CP_CHECK_GE(a, b) CP_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CP_INTERNAL_CHECK_OP(impl, op_str, a, b)                            \
+  if (auto cp_internal_check_msg =                                          \
+          ::coverpack::internal::impl((a), (b), #a " " op_str " " #b))      \
+  ::coverpack::internal::FatalLogMessage(__FILE__, __LINE__,                \
+                                         cp_internal_check_msg->c_str())
+
+#define CP_CHECK_EQ(a, b) CP_INTERNAL_CHECK_OP(CheckOpEq, "==", a, b)
+#define CP_CHECK_NE(a, b) CP_INTERNAL_CHECK_OP(CheckOpNe, "!=", a, b)
+#define CP_CHECK_LT(a, b) CP_INTERNAL_CHECK_OP(CheckOpLt, "<", a, b)
+#define CP_CHECK_LE(a, b) CP_INTERNAL_CHECK_OP(CheckOpLe, "<=", a, b)
+#define CP_CHECK_GT(a, b) CP_INTERNAL_CHECK_OP(CheckOpGt, ">", a, b)
+#define CP_CHECK_GE(a, b) CP_INTERNAL_CHECK_OP(CheckOpGe, ">=", a, b)
 
 #ifdef NDEBUG
+// The `if (false)` wrapper keeps the condition and both operands compiled
+// (odr-used, never evaluated) — the void-cast idiom with streaming intact —
+// so variables used only in debug checks don't trip -Wunused in release.
 #define CP_DCHECK(condition) \
   if (false) CP_CHECK(condition)
+#define CP_DCHECK_EQ(a, b) \
+  if (false) CP_CHECK_EQ(a, b)
+#define CP_DCHECK_NE(a, b) \
+  if (false) CP_CHECK_NE(a, b)
+#define CP_DCHECK_LT(a, b) \
+  if (false) CP_CHECK_LT(a, b)
+#define CP_DCHECK_LE(a, b) \
+  if (false) CP_CHECK_LE(a, b)
+#define CP_DCHECK_GT(a, b) \
+  if (false) CP_CHECK_GT(a, b)
+#define CP_DCHECK_GE(a, b) \
+  if (false) CP_CHECK_GE(a, b)
 #else
 #define CP_DCHECK(condition) CP_CHECK(condition)
+#define CP_DCHECK_EQ(a, b) CP_CHECK_EQ(a, b)
+#define CP_DCHECK_NE(a, b) CP_CHECK_NE(a, b)
+#define CP_DCHECK_LT(a, b) CP_CHECK_LT(a, b)
+#define CP_DCHECK_LE(a, b) CP_CHECK_LE(a, b)
+#define CP_DCHECK_GT(a, b) CP_CHECK_GT(a, b)
+#define CP_DCHECK_GE(a, b) CP_CHECK_GE(a, b)
 #endif
 
 #endif  // COVERPACK_UTIL_LOGGING_H_

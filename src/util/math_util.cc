@@ -19,7 +19,7 @@ uint64_t SaturatingPow(uint64_t base, uint32_t exp) {
 }
 
 uint64_t FloorNthRoot(uint64_t x, uint32_t k) {
-  CP_CHECK(k >= 1);
+  CP_CHECK_GE(k, 1u);
   if (k == 1 || x <= 1) return x;
   uint64_t lo = 0;
   uint64_t hi = x;
@@ -45,6 +45,8 @@ PowerLawFit FitPowerLaw(const std::vector<double>& xs, const std::vector<double>
   CP_CHECK_EQ(xs.size(), ys.size());
   std::vector<double> lx;
   std::vector<double> ly;
+  lx.reserve(xs.size());
+  ly.reserve(ys.size());
   for (size_t i = 0; i < xs.size(); ++i) {
     if (xs[i] > 0 && ys[i] > 0) {
       lx.push_back(std::log(xs[i]));

@@ -38,7 +38,7 @@ uint64_t Rng::Next() {
 }
 
 uint64_t Rng::Uniform(uint64_t bound) {
-  CP_CHECK(bound > 0) << "Uniform bound must be positive";
+  CP_CHECK_GT(bound, 0u) << "Uniform bound must be positive";
   // Lemire's multiply-shift rejection method.
   uint64_t x = Next();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -55,7 +55,7 @@ uint64_t Rng::Uniform(uint64_t bound) {
 }
 
 int64_t Rng::UniformInRange(int64_t lo, int64_t hi) {
-  CP_CHECK(lo <= hi);
+  CP_CHECK_LE(lo, hi);
   return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
 }
 
@@ -70,7 +70,7 @@ bool Rng::Bernoulli(double prob) {
 }
 
 ZipfSampler::ZipfSampler(uint64_t n, double skew) {
-  CP_CHECK(n >= 1);
+  CP_CHECK_GE(n, 1u);
   cdf_.resize(n);
   double total = 0.0;
   for (uint64_t i = 0; i < n; ++i) {

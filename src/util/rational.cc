@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "util/audit.h"
 #include "util/logging.h"
 
 namespace coverpack {
@@ -24,7 +25,7 @@ int64_t CheckedAdd(int64_t a, int64_t b) {
 }  // namespace
 
 Rational::Rational(int64_t num, int64_t den) : num_(num), den_(den) {
-  CP_CHECK(den != 0) << "rational with zero denominator";
+  CP_CHECK_NE(den, 0) << "rational with zero denominator";
   Normalize();
 }
 
@@ -35,11 +36,20 @@ void Rational::Normalize() {
   }
   if (num_ == 0) {
     den_ = 1;
-    return;
+  } else {
+    int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    num_ /= g;
+    den_ /= g;
   }
-  int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
-  num_ /= g;
-  den_ /= g;
+  CP_AUDIT(IsNormalized());
+}
+
+bool Rational::IsNormalized() const {
+  if (den_ <= 0) return false;
+  if (num_ == 0) return den_ == 1;
+  const uint64_t magnitude =
+      num_ < 0 ? uint64_t{0} - static_cast<uint64_t>(num_) : static_cast<uint64_t>(num_);
+  return std::gcd(magnitude, static_cast<uint64_t>(den_)) == 1;
 }
 
 std::string Rational::ToString() const {
@@ -51,6 +61,7 @@ Rational Rational::operator-() const {
   Rational r;
   r.num_ = -num_;
   r.den_ = den_;
+  CP_AUDIT(r.IsNormalized());
   return r;
 }
 
@@ -84,7 +95,7 @@ bool Rational::operator<(const Rational& other) const {
 }
 
 Rational Rational::Inverse() const {
-  CP_CHECK(num_ != 0) << "inverse of zero rational";
+  CP_CHECK_NE(num_, 0) << "inverse of zero rational";
   return Rational(den_, num_);
 }
 

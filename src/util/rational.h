@@ -45,6 +45,11 @@ class Rational {
   /// Renders as "a" or "a/b".
   std::string ToString() const;
 
+  /// True iff the representation is canonical: den > 0, gcd(|num|, den) == 1,
+  /// and zero is stored as 0/1. Every public operation maintains this (the
+  /// COVERPACK_AUDIT build re-verifies it after each construction).
+  bool IsNormalized() const;
+
   Rational operator-() const;
   Rational operator+(const Rational& other) const;
   Rational operator-(const Rational& other) const;

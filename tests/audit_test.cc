@@ -1,0 +1,159 @@
+/// Tests for the invariant-audit subsystem: the SimulatorAuditor verifiers
+/// (compiled in every build), the CP_AUDIT macro gating, and — in
+/// COVERPACK_AUDIT builds — that the hot-path hooks in the tracker, the
+/// primitives, the hypercube, and Rational actually fire.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mpc/cluster.h"
+#include "mpc/dist_relation.h"
+#include "mpc/hypercube.h"
+#include "mpc/primitives.h"
+#include "query/catalog.h"
+#include "util/audit.h"
+#include "util/rational.h"
+#include "workload/generators.h"
+
+namespace coverpack {
+namespace {
+
+using audit::SimulatorAuditor;
+
+TEST(SimulatorAuditorTest, VerifyConservationAcceptsExactBalance) {
+  SimulatorAuditor::ResetStats();
+  SimulatorAuditor::VerifyConservation(100, 20, 120, "test");
+  SimulatorAuditor::VerifyConservation(0, 0, 0, "test");
+  EXPECT_GE(SimulatorAuditor::checks_performed(), 2u);
+}
+
+TEST(SimulatorAuditorTest, VerifyExchangeAcceptsBalancedVolumes) {
+  SimulatorAuditor::VerifyExchange(42, 42, "test");
+  SimulatorAuditor::VerifyExchange(0, 0, "test");
+}
+
+TEST(SimulatorAuditorTest, VerifyGridFitsAcceptsValidGrid) {
+  SimulatorAuditor::VerifyGridFits({2, 3, 1}, 6, 8, "test");
+  SimulatorAuditor::VerifyGridFits({1, 1}, 1, 1, "test");
+}
+
+TEST(SimulatorAuditorTest, VerifyNormalizedFractionAcceptsCanonicalForms) {
+  SimulatorAuditor::VerifyNormalizedFraction(0, 1, "test");
+  SimulatorAuditor::VerifyNormalizedFraction(-3, 7, "test");
+  SimulatorAuditor::VerifyNormalizedFraction(5, 1, "test");
+}
+
+TEST(SimulatorAuditorDeathTest, LostVolumeAborts) {
+  EXPECT_DEATH(SimulatorAuditor::VerifyConservation(100, 20, 119, "merge-under-test"),
+               "conservation violated in merge-under-test");
+}
+
+TEST(SimulatorAuditorDeathTest, InventedVolumeAborts) {
+  EXPECT_DEATH(SimulatorAuditor::VerifyConservation(100, 20, 121, "merge-under-test"),
+               "conservation violated");
+}
+
+TEST(SimulatorAuditorDeathTest, ExchangeImbalanceAborts) {
+  EXPECT_DEATH(SimulatorAuditor::VerifyExchange(10, 9, "route-under-test"),
+               "exchange imbalance in route-under-test");
+}
+
+TEST(SimulatorAuditorDeathTest, OversizedGridAborts) {
+  EXPECT_DEATH(SimulatorAuditor::VerifyGridFits({4, 4}, 16, 8, "grid-under-test"),
+               "hypercube grid exceeds cluster");
+}
+
+TEST(SimulatorAuditorDeathTest, GridSizeMismatchAborts) {
+  EXPECT_DEATH(SimulatorAuditor::VerifyGridFits({2, 2}, 5, 8, "grid-under-test"),
+               "grid size mismatch");
+}
+
+TEST(SimulatorAuditorDeathTest, DenormalizedFractionAborts) {
+  EXPECT_DEATH(SimulatorAuditor::VerifyNormalizedFraction(2, 4, "rational-under-test"),
+               "not in lowest terms");
+  EXPECT_DEATH(SimulatorAuditor::VerifyNormalizedFraction(1, -2, "rational-under-test"),
+               "den <= 0");
+  EXPECT_DEATH(SimulatorAuditor::VerifyNormalizedFraction(0, 3, "rational-under-test"),
+               "zero rational not canonical");
+}
+
+TEST(AuditMacroTest, CompileGateMatchesBuildConfig) {
+#ifdef COVERPACK_AUDIT
+  EXPECT_TRUE(SimulatorAuditor::kCompiledIn);
+#else
+  EXPECT_FALSE(SimulatorAuditor::kCompiledIn);
+#endif
+}
+
+TEST(AuditMacroTest, PassingAuditsNeverAbortAndCountOnlyWhenCompiledIn) {
+  SimulatorAuditor::ResetStats();
+  // In non-audit builds the macros swallow their arguments entirely.
+  [[maybe_unused]] const int value = 3;
+  CP_AUDIT(value == 3);
+  CP_AUDIT_EQ(value, 3);
+  CP_AUDIT_NE(value, 4);
+  CP_AUDIT_LT(value, 4);
+  CP_AUDIT_LE(value, 3);
+  CP_AUDIT_GT(value, 2);
+  CP_AUDIT_GE(value, 3);
+  if (SimulatorAuditor::kCompiledIn) {
+    EXPECT_EQ(SimulatorAuditor::checks_performed(), 7u);
+  } else {
+    EXPECT_EQ(SimulatorAuditor::checks_performed(), 0u);
+  }
+}
+
+#ifdef COVERPACK_AUDIT
+
+TEST(AuditMacroDeathTest, FailingAuditAbortsWhenCompiledIn) {
+  const int value = 3;
+  EXPECT_DEATH(CP_AUDIT_EQ(value, 4), "value == 4 \\(3 vs 4\\)");
+}
+
+// End-to-end: exercising the simulator in an audit build must drive the
+// hot-path hooks (merges, partitions, hypercube routing, rational ops).
+TEST(AuditIntegrationTest, SimulatorWorkloadFiresAuditHooks) {
+  SimulatorAuditor::ResetStats();
+
+  Cluster cluster(8);
+  Hypergraph q = catalog::Line3();
+  Rng rng(5);
+  Relation left = workload::UniformRandom(q.edge(0).attrs, 64, 10, &rng);
+  Relation right = workload::UniformRandom(q.edge(1).attrs, 64, 10, &rng);
+  DistRelation dl = DistRelation::InitialPlacement(cluster, left);
+  DistRelation dr = DistRelation::InitialPlacement(cluster, right);
+  uint32_t round = 0;
+  mpc::SemiJoinMpc(&cluster, dl, dr, &round);
+  EXPECT_GT(SimulatorAuditor::checks_performed(), 0u);
+
+  const uint64_t after_semijoin = SimulatorAuditor::checks_performed();
+  LoadTracker parent(8);
+  LoadTracker child(4);
+  child.Add(0, 1, 5);
+  parent.Merge(child, 0, 0);
+  parent.MergeMapped(child, 0, [](uint32_t s) { return s % 4; });
+  EXPECT_GT(SimulatorAuditor::checks_performed(), after_semijoin);
+
+  const uint64_t after_merges = SimulatorAuditor::checks_performed();
+  Rational r = Rational(6, 4) * Rational(2, 3) + Rational(1, 7);
+  EXPECT_TRUE(r.IsNormalized());
+  EXPECT_GT(SimulatorAuditor::checks_performed(), after_merges);
+}
+
+TEST(AuditIntegrationTest, HypercubeRunIsConservationAudited) {
+  SimulatorAuditor::ResetStats();
+  Cluster cluster(16);
+  Hypergraph q = catalog::Triangle();
+  Rng rng(11);
+  Instance instance = workload::UniformInstance(q, 50, 8, &rng);
+  mpc::ShareVector shares = mpc::OptimizeShares(q, cluster.p());
+  mpc::HypercubeJoin(&cluster, q, instance, shares, 0, /*collect=*/true);
+  EXPECT_GT(SimulatorAuditor::checks_performed(), 0u);
+}
+
+#endif  // COVERPACK_AUDIT
+
+}  // namespace
+}  // namespace coverpack

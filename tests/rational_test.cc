@@ -1,6 +1,10 @@
 #include "util/rational.h"
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
+
+#include "util/audit.h"
 
 namespace coverpack {
 namespace {
@@ -74,6 +78,82 @@ TEST(RationalTest, LargeValuesReduceBeforeMultiplying) {
   Rational a(1000000, 3);
   Rational b(3, 1000000);
   EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(RationalTest, EveryOperatorLeavesResultNormalized) {
+  // The COVERPACK_AUDIT build re-checks this inside Normalize() after every
+  // construction; here we assert the invariant itself in all builds.
+  const Rational a(6, 4);
+  const Rational b(-10, 15);
+  for (const Rational& r : {a + b, a - b, a * b, a / b, -a, a.Inverse(),
+                            Rational(0, -9), Rational(-21, -14)}) {
+    EXPECT_TRUE(r.IsNormalized()) << r.ToString();
+    EXPECT_GT(r.den(), 0) << r.ToString();
+  }
+  Rational c = a;
+  c += b;
+  EXPECT_TRUE(c.IsNormalized());
+  c *= Rational(7, 3);
+  EXPECT_TRUE(c.IsNormalized());
+  c -= Rational(1, 6);
+  EXPECT_TRUE(c.IsNormalized());
+  c /= Rational(-2, 5);
+  EXPECT_TRUE(c.IsNormalized());
+}
+
+#ifdef COVERPACK_AUDIT
+TEST(RationalTest, AuditHooksFireOnEveryOperation) {
+  audit::SimulatorAuditor::ResetStats();
+  Rational r = Rational(3, 9) + Rational(1, 2);
+  r = r * Rational(4, 6);
+  EXPECT_FALSE(r.is_zero());
+  EXPECT_GT(audit::SimulatorAuditor::checks_performed(), 0u);
+}
+#endif  // COVERPACK_AUDIT
+
+// Overflow regression: products and sums that leave int64 must abort with
+// the overflow message, never wrap into a plausible-looking exponent.
+TEST(RationalOverflowDeathTest, ProductNearInt64MaxAborts) {
+  const Rational big(INT64_MAX / 2 + 1);  // 2^62, coprime with any odd den
+  EXPECT_DEATH({ Rational r = big * big; (void)r; }, "rational overflow in multiply");
+}
+
+TEST(RationalOverflowDeathTest, ProductOfLargeCoprimeFractionsAborts) {
+  // Cross-cancellation cannot save this one: INT64_MAX is odd and coprime
+  // with 3 (2^63-1 ≡ 1 mod 3), INT64_MAX-2 is odd, so every gcd is 1.
+  const Rational a(INT64_MAX, 2);
+  const Rational b(INT64_MAX - 2, 3);
+  ASSERT_EQ(a.den(), 2);
+  ASSERT_EQ(b.den(), 3);
+  EXPECT_DEATH({ Rational r = a * b; (void)r; }, "rational overflow in multiply");
+}
+
+TEST(RationalOverflowDeathTest, SumNearInt64MaxAborts) {
+  const Rational a(INT64_MAX - 1);
+  EXPECT_DEATH({ Rational r = a + a; (void)r; }, "rational overflow in add");
+}
+
+TEST(RationalOverflowDeathTest, AdditionWithHugeDenominatorsAborts) {
+  // Denominators are coprime, so the common denominator alone overflows.
+  const Rational a(1, INT64_MAX - 1);
+  const Rational b(1, INT64_MAX - 2);
+  EXPECT_DEATH({ Rational r = a + b; (void)r; }, "rational overflow");
+}
+
+TEST(RationalOverflowDeathTest, JustBelowOverflowStillExact) {
+  // 2^31 * 2^31 = 2^62 fits; the checked path must not be over-eager.
+  const Rational c(int64_t{1} << 31);
+  const Rational product = c * c;
+  EXPECT_EQ(product, Rational(int64_t{1} << 62));
+  EXPECT_TRUE(product.IsNormalized());
+}
+
+TEST(RationalDeathTest, ZeroDenominatorAborts) {
+  EXPECT_DEATH(Rational(1, 0), "zero denominator");
+}
+
+TEST(RationalDeathTest, InverseOfZeroAborts) {
+  EXPECT_DEATH(Rational(0).Inverse(), "inverse of zero");
 }
 
 }  // namespace
