@@ -1,78 +1,9 @@
 /// \file bench_ablation_policy.cc
-/// \brief Ablation of the two design choices the paper separates:
-///
-/// (1) the choice set S^x — conservative {e1} (Section 3.2) vs aggressive
-///     E_x (Section 4's path-style choices), executed at the *same*
-///     threshold L so only the decomposition strategy differs;
-/// (2) the threshold planner — Theorem 2's subjoin L vs Theorem 4's S(E)
-///     L, executed with the same policy.
-///
-/// Output: measured load / rounds / servers per combination, showing that
-/// the worst-case-optimal configuration is (E_x, Theorem-4 L), while the
-/// conservative configuration is instance-adaptive.
+/// \brief Thin wrapper: the experiment body lives in
+/// bench/experiments/ablation_policy.cc and is registered in the experiment
+/// registry, so the unified driver (coverpack_bench) and this historical
+/// one-display binary share one implementation.
 
-#include <iostream>
+#include "experiments/experiments.h"
 
-#include "bench_util.h"
-#include "core/acyclic_join.h"
-#include "core/load_planner.h"
-#include "query/catalog.h"
-#include "query/join_tree.h"
-#include "workload/generators.h"
-
-namespace coverpack {
-namespace {
-
-int RunBench() {
-  bench::Banner("Ablation", "S^x choice and threshold planner, factored apart");
-
-  struct Workload {
-    std::string name;
-    Hypergraph query;
-    uint64_t n;
-  };
-  std::vector<Workload> workloads;
-  workloads.push_back({"path5/matching", catalog::Path(5), 8000});
-  workloads.push_back({"figure4/matching", catalog::Figure4Query(), 2000});
-
-  uint32_t p = 256;
-  bool all_ok = true;
-  for (const auto& w : workloads) {
-    Instance instance = workload::MatchingInstance(w.query, w.n);
-    auto tree = JoinTree::Build(w.query);
-    uint64_t l_conservative = PlanLoadConservative(w.query, *tree, instance, p);
-    uint64_t l_optimal = PlanLoadOptimal(w.query, instance, p);
-    std::cout << "--- " << w.name << " (N = " << w.n << ", p = " << p
-              << "): L_thm2 = " << l_conservative << ", L_thm4 = " << l_optimal << "\n";
-
-    TablePrinter table({"S^x policy", "L source", "L", "measured load", "rounds",
-                        "servers"});
-    for (RunPolicy policy : {RunPolicy::kConservative, RunPolicy::kOptimal}) {
-      for (uint64_t load : {l_conservative, l_optimal}) {
-        AcyclicRunOptions options;
-        options.policy = policy;
-        options.collect = false;
-        options.p = p;
-        options.load_threshold = load;
-        AcyclicRunResult run = ComputeAcyclicJoin(w.query, instance, options);
-        table.AddRow({policy == RunPolicy::kConservative ? "{e1}" : "E_x",
-                      load == l_conservative ? "Thm2" : "Thm4", std::to_string(load),
-                      std::to_string(run.max_load), std::to_string(run.rounds),
-                      std::to_string(run.servers_used)});
-        // Every configuration must stay within a constant of its L.
-        if (run.max_load > 16 * load) all_ok = false;
-      }
-    }
-    table.Print(std::cout);
-  }
-  std::cout << "every (policy, L) configuration executes within a constant of its "
-               "threshold; the aggressive E_x choice trades slightly higher broadcast "
-               "constants for the worst-case-optimal exponent.\n";
-  bench::Verdict("Ablation", all_ok);
-  return all_ok ? 0 : 1;
-}
-
-}  // namespace
-}  // namespace coverpack
-
-int main() { return coverpack::RunBench(); }
+int main() { return coverpack::bench::RunExperimentStandalone("ablation_policy"); }

@@ -1,53 +1,9 @@
 /// \file bench_em_reduction.cc
-/// \brief Regenerates the Section 1.3/1.4 EM-model corollary: Theorem 5
-/// plus the MPC->EM reduction of [19] yields an external-memory algorithm
-/// with O(N^{rho*} / (M^{rho*-1} B)) I/Os for every alpha-acyclic join —
-/// covering queries the earlier Berge-acyclic-only EM algorithm [14]
-/// could not (e.g. the alpha-not-berge query).
+/// \brief Thin wrapper: the experiment body lives in
+/// bench/experiments/em_reduction.cc and is registered in the experiment
+/// registry, so the unified driver (coverpack_bench) and this historical
+/// one-display binary share one implementation.
 
-#include <iostream>
+#include "experiments/experiments.h"
 
-#include "bench_util.h"
-#include "core/em_reduction.h"
-#include "lp/covers.h"
-#include "query/catalog.h"
-#include "query/properties.h"
-
-namespace coverpack {
-namespace {
-
-int RunBench() {
-  bench::Banner("Section 1.4 (EM corollary)",
-                "acyclic joins in EM with O(N^rho* / (M^(rho*-1) B)) I/Os via the "
-                "MPC->EM reduction");
-
-  EmCostModel em;
-  em.memory = 1 << 16;
-  em.block = 1 << 8;
-  uint64_t n = 1 << 20;
-  std::cout << "N = " << n << ", M = " << em.memory << ", B = " << em.block << "\n\n";
-
-  TablePrinter table({"query", "rho*", "berge-acyclic?", "p* (servers simulated)",
-                      "I/O (reduction)", "closed form N^r/(M^(r-1)B)", "ratio"});
-  bool all_ok = true;
-  for (const auto& entry : catalog::StandardRoster()) {
-    if (!IsAlphaAcyclic(entry.query)) continue;
-    EmReductionResult result = ReduceMpcToEm(entry.query, n, em, /*rounds=*/1);
-    double ratio = static_cast<double>(result.io_count) / result.closed_form;
-    table.AddRow({entry.name, RhoStar(entry.query).ToString(),
-                  IsBergeAcyclic(entry.query) ? "yes" : "no", std::to_string(result.p_star),
-                  std::to_string(result.io_count), FormatDouble(result.closed_form, 0),
-                  FormatDouble(ratio, 2)});
-    if (ratio > 8.0 || ratio < 1.0 / 8.0) all_ok = false;
-  }
-  table.Print(std::cout);
-  std::cout << "rows with berge-acyclic = no (e.g. alpha_not_berge, figure4) are exactly\n"
-               "the acyclic joins the paper newly brings into this EM bound.\n";
-  bench::Verdict("EMReduction", all_ok);
-  return all_ok ? 0 : 1;
-}
-
-}  // namespace
-}  // namespace coverpack
-
-int main() { return coverpack::RunBench(); }
+int main() { return coverpack::bench::RunExperimentStandalone("em_reduction"); }

@@ -1,46 +1,9 @@
 /// \file bench_fig1_classification.cc
-/// \brief Regenerates Figure 1: the classification of join queries.
-///
-/// Prints, for every catalog query, its structural classes (alpha-/berge-
-/// acyclic, tree, path, r-hierarchical, Loomis-Whitney, degree-two) and
-/// checks the containments the figure draws: path < tree < alpha-acyclic,
-/// berge-acyclic < alpha-acyclic, LW and degree-two straddling the cyclic
-/// side.
+/// \brief Thin wrapper: the experiment body lives in
+/// bench/experiments/fig1_classification.cc and is registered in the experiment
+/// registry, so the unified driver (coverpack_bench) and this historical
+/// one-display binary share one implementation.
 
-#include <iostream>
+#include "experiments/experiments.h"
 
-#include "bench_util.h"
-#include "query/catalog.h"
-#include "query/properties.h"
-
-namespace coverpack {
-namespace {
-
-int RunBench() {
-  bench::Banner("Figure 1", "classification of join queries into nested structural classes");
-
-  TablePrinter table({"query", "relations", "attrs", "classification"});
-  bool containments_hold = true;
-  for (const auto& entry : catalog::StandardRoster()) {
-    table.AddRow({entry.name, std::to_string(entry.query.num_edges()),
-                  std::to_string(entry.query.AllAttrs().size()),
-                  ClassificationString(entry.query)});
-    // Containments of Figure 1.
-    if (IsPathJoin(entry.query) && !IsTreeJoin(entry.query)) containments_hold = false;
-    if (IsTreeJoin(entry.query) && !IsAlphaAcyclic(entry.query)) containments_hold = false;
-    if (IsBergeAcyclic(entry.query) && !IsAlphaAcyclic(entry.query)) containments_hold = false;
-    if (IsLoomisWhitney(entry.query) && IsAlphaAcyclic(entry.query)) containments_hold = false;
-  }
-  table.Print(std::cout);
-
-  std::cout << "containments: path c tree c alpha-acyclic; berge c alpha; "
-               "LW joins are cyclic: "
-            << (containments_hold ? "all hold" : "VIOLATED") << "\n";
-  bench::Verdict("Figure1", containments_hold);
-  return containments_hold ? 0 : 1;
-}
-
-}  // namespace
-}  // namespace coverpack
-
-int main() { return coverpack::RunBench(); }
+int main() { return coverpack::bench::RunExperimentStandalone("fig1_classification"); }

@@ -1,47 +1,9 @@
 /// \file bench_fig2_box_join.cc
-/// \brief Regenerates Figure 2: the box join's hypergraph and its
-/// cover/packing structure (rho* = 2 via {R1,R2}, tau* = 3 via {R3,R4,R5}).
+/// \brief Thin wrapper: the experiment body lives in
+/// bench/experiments/fig2_box_join.cc and is registered in the experiment
+/// registry, so the unified driver (coverpack_bench) and this historical
+/// one-display binary share one implementation.
 
-#include <iostream>
+#include "experiments/experiments.h"
 
-#include "bench_util.h"
-#include "lp/covers.h"
-#include "lp/packing_provable.h"
-#include "lowerbound/hard_instance.h"
-#include "query/catalog.h"
-
-namespace coverpack {
-namespace {
-
-int RunBench() {
-  bench::Banner("Figure 2", "box join: rho* = 2 ({R1,R2}), tau* = 3 ({R3,R4,R5})");
-  Hypergraph box = catalog::BoxJoin();
-  std::cout << "query: " << box.ToString() << "\n\n";
-
-  EdgeWeighting cover = FractionalEdgeCover(box);
-  EdgeWeighting packing = FractionalEdgePacking(box);
-  TablePrinter table({"relation", "cover weight", "packing weight"});
-  for (uint32_t e = 0; e < box.num_edges(); ++e) {
-    table.AddRow({box.edge(e).name, cover.weights[e].ToString(), packing.weights[e].ToString()});
-  }
-  table.Print(std::cout);
-  std::cout << "rho* = " << cover.total << ", tau* = " << packing.total
-            << ", psi* = " << EdgeQuasiPackingNumber(box) << "\n";
-
-  PackingProvability witness = lowerbound::BoxJoinWitness(box);
-  std::cout << "edge-packing-provable: " << (witness.provable ? "yes" : "no")
-            << "; witness vertex cover x_A=x_B=x_C=1/3, x_D=x_E=x_F=2/3; probabilistic E' = {";
-  for (size_t i = 0; i < witness.probabilistic.size(); ++i) {
-    std::cout << (i ? ", " : "") << box.edge(witness.probabilistic[i]).name;
-  }
-  std::cout << "}\n";
-
-  bool ok = cover.total == Rational(2) && packing.total == Rational(3) && witness.provable;
-  bench::Verdict("Figure2", ok);
-  return ok ? 0 : 1;
-}
-
-}  // namespace
-}  // namespace coverpack
-
-int main() { return coverpack::RunBench(); }
+int main() { return coverpack::bench::RunExperimentStandalone("fig2_box_join"); }

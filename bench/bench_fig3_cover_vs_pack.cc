@@ -1,63 +1,9 @@
 /// \file bench_fig3_cover_vs_pack.cc
-/// \brief Regenerates Figure 3: the relationship between rho* and tau* for
-/// reduced join queries.
-///
-/// The figure's point: unlike the RAM model where only rho* matters, in
-/// the MPC model queries split into tau* < rho* (e.g. star joins),
-/// tau* = rho* (e.g. LW joins, odd cycles), and tau* > rho* (e.g. the box
-/// join), and psi* dominates both. We tabulate all three regions.
+/// \brief Thin wrapper: the experiment body lives in
+/// bench/experiments/fig3_cover_vs_pack.cc and is registered in the experiment
+/// registry, so the unified driver (coverpack_bench) and this historical
+/// one-display binary share one implementation.
 
-#include <iostream>
+#include "experiments/experiments.h"
 
-#include "bench_util.h"
-#include "lp/covers.h"
-#include "query/catalog.h"
-#include "query/properties.h"
-
-namespace coverpack {
-namespace {
-
-int RunBench() {
-  bench::Banner("Figure 3",
-                "rho* vs tau* splits reduced queries into three regions; psi* >= both");
-
-  TablePrinter table({"query", "rho*", "tau*", "psi*", "region", "psi*>=max"});
-  bool psi_dominates = true;
-  bool found_less = false;
-  bool found_equal = false;
-  bool found_greater = false;
-  for (const auto& entry : catalog::StandardRoster()) {
-    Hypergraph reduced = Reduce(entry.query);
-    Rational rho = RhoStar(reduced);
-    Rational tau = TauStar(reduced);
-    Rational psi = EdgeQuasiPackingNumber(reduced);
-    std::string region;
-    if (tau < rho) {
-      region = "tau* < rho*";
-      found_less = true;
-    } else if (tau == rho) {
-      region = "tau* = rho*";
-      found_equal = true;
-    } else {
-      region = "tau* > rho*";
-      found_greater = true;
-    }
-    bool dominated = psi >= rho && psi >= tau;
-    psi_dominates = psi_dominates && dominated;
-    table.AddRow({entry.name, rho.ToString(), tau.ToString(), psi.ToString(), region,
-                  dominated ? "yes" : "NO"});
-  }
-  table.Print(std::cout);
-  std::cout << "regions witnessed: tau*<rho*: " << (found_less ? "yes" : "no")
-            << ", tau*=rho*: " << (found_equal ? "yes" : "no")
-            << ", tau*>rho*: " << (found_greater ? "yes" : "no") << "\n";
-
-  bool ok = psi_dominates && found_less && found_equal && found_greater;
-  bench::Verdict("Figure3", ok);
-  return ok ? 0 : 1;
-}
-
-}  // namespace
-}  // namespace coverpack
-
-int main() { return coverpack::RunBench(); }
+int main() { return coverpack::bench::RunExperimentStandalone("fig3_cover_vs_pack"); }

@@ -1,54 +1,9 @@
 /// \file bench_fig4_join_tree.cc
-/// \brief Regenerates Figure 4: the join tree of the 8-relation example
-/// query, built by GYO reduction / maximum-weight spanning forest, plus the
-/// GYO trace proving alpha-acyclicity.
+/// \brief Thin wrapper: the experiment body lives in
+/// bench/experiments/fig4_join_tree.cc and is registered in the experiment
+/// registry, so the unified driver (coverpack_bench) and this historical
+/// one-display binary share one implementation.
 
-#include <iostream>
+#include "experiments/experiments.h"
 
-#include "bench_util.h"
-#include "lp/covers.h"
-#include "query/catalog.h"
-#include "query/join_tree.h"
-#include "query/properties.h"
-
-namespace coverpack {
-namespace {
-
-int RunBench() {
-  bench::Banner("Figure 4", "the example acyclic query has a valid join tree; rho* = 6");
-  Hypergraph q = catalog::Figure4Query();
-  std::cout << "query: " << q.ToString() << "\n\n";
-
-  GyoResult gyo = GyoReduce(q);
-  std::cout << "GYO reduction: " << gyo.steps.size() << " steps, empties the query: "
-            << (gyo.acyclic ? "yes (alpha-acyclic)" : "NO") << "\n";
-
-  auto tree = JoinTree::Build(q);
-  bool ok = gyo.acyclic && tree.has_value();
-  if (tree) {
-    std::cout << "join tree (indentation = depth):\n" << tree->ToString(q);
-    // Running-intersection check per attribute.
-    for (AttrId v : q.AllAttrs().ToVector()) {
-      EdgeSet holders = q.EdgesContaining(v);
-      std::cout << "attribute " << q.attr_name(v) << " in " << holders.size()
-                << " relations -> connected subtree\n";
-    }
-  }
-  Rational rho = RhoStar(q);
-  std::cout << "rho* = " << rho << " (integral, Lemma A.2); minimum integral cover: {";
-  EdgeSet cover = MinimumIntegralEdgeCover(q).edges;
-  bool first = true;
-  for (EdgeId e : cover.ToVector()) {
-    std::cout << (first ? "" : ", ") << q.edge(e).name;
-    first = false;
-  }
-  std::cout << "}\n";
-  ok = ok && rho == Rational(6) && cover.size() == 6;
-  bench::Verdict("Figure4", ok);
-  return ok ? 0 : 1;
-}
-
-}  // namespace
-}  // namespace coverpack
-
-int main() { return coverpack::RunBench(); }
+int main() { return coverpack::bench::RunExperimentStandalone("fig4_join_tree"); }

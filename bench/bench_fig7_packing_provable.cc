@@ -1,54 +1,9 @@
 /// \file bench_fig7_packing_provable.cc
-/// \brief Regenerates Figure 7: examples of edge-packing-provable
-/// degree-two joins, with the Definition 5.4 analysis of each.
+/// \brief Thin wrapper: the experiment body lives in
+/// bench/experiments/fig7_packing_provable.cc and is registered in the experiment
+/// registry, so the unified driver (coverpack_bench) and this historical
+/// one-display binary share one implementation.
 
-#include <iostream>
+#include "experiments/experiments.h"
 
-#include "bench_util.h"
-#include "lp/packing_provable.h"
-#include "query/catalog.h"
-#include "query/properties.h"
-
-namespace coverpack {
-namespace {
-
-int RunBench() {
-  bench::Banner("Figure 7",
-                "edge-packing-provable degree-two joins (reduced, no odd cycle, "
-                "constant-small witness cover)");
-
-  struct Example {
-    std::string name;
-    Hypergraph query;
-    bool expect_provable;
-  };
-  std::vector<Example> examples;
-  examples.push_back({"box_join", catalog::BoxJoin(), true});
-  examples.push_back({"rotated_bridges", catalog::PackingProvableSixEdges(), true});
-  examples.push_back({"even_cycle_C6", catalog::Cycle(6), true});
-  examples.push_back({"even_cycle_C8", catalog::Cycle(8), true});
-  examples.push_back({"triangle (odd cycle)", catalog::Triangle(), false});
-  examples.push_back({"pentagon (odd cycle)", catalog::Cycle(5), false});
-  examples.push_back({"star4 (not degree-two)", catalog::Star(4), false});
-
-  TablePrinter table({"join", "rho*", "tau*", "provable", "|E'|", "why not"});
-  bool all_ok = true;
-  for (const auto& example : examples) {
-    PackingProvability result = AnalyzePackingProvable(example.query);
-    all_ok = all_ok && (result.provable == example.expect_provable);
-    table.AddRow({example.name, result.rho_star.ToString(), result.tau_star.ToString(),
-                  result.provable ? "yes" : "no",
-                  result.provable ? std::to_string(result.probabilistic.size()) : "-",
-                  result.provable ? "" : result.reason});
-  }
-  table.Print(std::cout);
-  std::cout << "for every provable join the lower bound is Omega(N / p^(1/tau*)),\n"
-               "exceeding the AGM-based Omega(N / p^(1/rho*)) whenever tau* > rho*.\n";
-  bench::Verdict("Figure7", all_ok);
-  return all_ok ? 0 : 1;
-}
-
-}  // namespace
-}  // namespace coverpack
-
-int main() { return coverpack::RunBench(); }
+int main() { return coverpack::bench::RunExperimentStandalone("fig7_packing_provable"); }

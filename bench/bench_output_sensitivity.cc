@@ -1,87 +1,9 @@
 /// \file bench_output_sensitivity.cc
-/// \brief Regenerates the Section 1.3 output-optimality discussion: the
-/// O(N/p + OUT/p) output-balanced algorithm [15] is unbeatable when OUT is
-/// small but degenerates to ~N^{rho*}/p as OUT approaches the AGM bound,
-/// while Theorem 5's algorithm holds N / p^(1/rho*) throughout — the
-/// crossover happens around OUT ~ p^(1 - 1/rho*) * N.
+/// \brief Thin wrapper: the experiment body lives in
+/// bench/experiments/output_sensitivity.cc and is registered in the experiment
+/// registry, so the unified driver (coverpack_bench) and this historical
+/// one-display binary share one implementation.
 
-#include <cmath>
-#include <iostream>
+#include "experiments/experiments.h"
 
-#include "bench_util.h"
-#include "core/acyclic_join.h"
-#include "core/output_balanced.h"
-#include "query/catalog.h"
-#include "relation/oracle.h"
-#include "workload/generators.h"
-
-namespace coverpack {
-namespace {
-
-/// Line-3 instance with tunable output: bipartite blocks of size `side`
-/// replicated to keep N fixed; OUT grows with side^2 per block chain.
-Instance TunableOutputInstance(const Hypergraph& q, uint64_t n, uint64_t side) {
-  Instance instance(q);
-  uint64_t blocks = n / (side * side);
-  CP_CHECK_GE(blocks, 1u);
-  for (uint64_t block = 0; block < blocks; ++block) {
-    Value base = static_cast<Value>(block * side);
-    for (Value a = 0; a < side; ++a) {
-      for (Value b = 0; b < side; ++b) {
-        instance[0].AppendRow({base + a, base + b});
-        instance[1].AppendRow({base + a, base + b});
-        instance[2].AppendRow({base + a, base + b});
-      }
-    }
-  }
-  return instance;
-}
-
-int RunBench() {
-  bench::Banner("Output sensitivity (Sec. 1.3)",
-                "output-balanced O(N/p + OUT/p) vs Theorem 5's N/p^(1/rho*): crossover "
-                "as OUT approaches the AGM bound");
-
-  Hypergraph q = catalog::Line3();  // rho* = 2
-  uint64_t n = 16384;
-  uint32_t p = 64;
-  double theorem5 = static_cast<double>(n) / std::sqrt(static_cast<double>(p));
-  std::cout << "N = " << n << ", p = " << p << ", Theorem 5 load ~ N/sqrt(p) = "
-            << FormatDouble(theorem5, 0) << "\n\n";
-
-  TablePrinter table({"block side", "OUT", "OUT/(pN)", "output-balanced load",
-                      "multi-round load", "winner"});
-  bool crossover_seen_low = false;
-  bool crossover_seen_high = false;
-  for (uint64_t side : {2u, 8u, 32u, 128u}) {
-    Instance instance = TunableOutputInstance(q, n, side);
-    uint64_t out = JoinCount(q, instance);
-
-    OutputBalancedOptions ob_options;
-    OutputBalancedResult ob = ComputeOutputBalanced(q, instance, p, ob_options);
-
-    AcyclicRunOptions mr_options;
-    mr_options.collect = false;
-    mr_options.p = p;
-    AcyclicRunResult mr = ComputeAcyclicJoin(q, instance, mr_options);
-
-    bool balanced_wins = ob.max_load < mr.max_load;
-    if (balanced_wins) crossover_seen_low = true;
-    if (!balanced_wins && side >= 32) crossover_seen_high = true;
-    table.AddRow({std::to_string(side), std::to_string(out),
-                  FormatDouble(static_cast<double>(out) / (p * static_cast<double>(n)), 2),
-                  std::to_string(ob.max_load), std::to_string(mr.max_load),
-                  balanced_wins ? "output-balanced" : "multi-round"});
-  }
-  table.Print(std::cout);
-  std::cout << "output-balanced wins while OUT = O(pN); the multi-round algorithm takes "
-               "over as OUT approaches the AGM bound N^2.\n";
-  bool ok = crossover_seen_low && crossover_seen_high;
-  bench::Verdict("OutputSensitivity", ok);
-  return ok ? 0 : 1;
-}
-
-}  // namespace
-}  // namespace coverpack
-
-int main() { return coverpack::RunBench(); }
+int main() { return coverpack::bench::RunExperimentStandalone("output_sensitivity"); }

@@ -1,6 +1,11 @@
 /// \file bench_primitives.cc
 /// \brief google-benchmark microbenchmarks of the MPC primitives and the
 /// sequential substrate (Section 2 building blocks).
+///
+/// This is the only bench binary that stays outside the experiment
+/// registry (bench/experiments/): it measures primitive throughput, not a
+/// paper claim, so it has no RunReport to emit and no place in
+/// BENCH_results.json.
 
 #include <benchmark/benchmark.h>
 

@@ -1,95 +1,9 @@
 /// \file bench_table1_complexity.cc
-/// \brief Regenerates Table 1: worst-case complexity of join evaluation in
-/// the MPC model, one row per query class.
-///
-/// Columns mirror the paper's table: the one-round complexity in terms of
-/// psi*, the multi-round upper bound in terms of rho* (acyclic: Theorem 5),
-/// and the multi-round lower bound in terms of tau* (edge-packing-provable
-/// cyclic joins: Theorems 6/7). Measured loads at a fixed (N, p) accompany
-/// every theory column that our simulator can exercise.
+/// \brief Thin wrapper: the experiment body lives in
+/// bench/experiments/table1_complexity.cc and is registered in the experiment
+/// registry, so the unified driver (coverpack_bench) and this historical
+/// one-display binary share one implementation.
 
-#include <cmath>
-#include <cmath>
-#include <iostream>
+#include "experiments/experiments.h"
 
-#include "bench_util.h"
-#include "core/acyclic_join.h"
-#include "core/one_round.h"
-#include "lowerbound/emit_capacity.h"
-#include "lp/covers.h"
-#include "lp/packing_provable.h"
-#include "query/catalog.h"
-#include "query/properties.h"
-#include "workload/generators.h"
-
-namespace coverpack {
-namespace {
-
-int RunBench() {
-  bench::Banner("Table 1",
-                "one-round ~ N/p^(1/psi*); multi-round acyclic ~ N/p^(1/rho*) (Thm 5); "
-                "cyclic lower bound ~ N/p^(1/tau*) (Thms 6/7)");
-
-  uint64_t n = 8192;
-  uint32_t p = 64;
-  std::cout << "N = " << n << ", p = " << p << ", matching (skew-free) instances\n\n";
-
-  TablePrinter table({"query", "class", "psi*", "rho*", "tau*", "1-round load",
-                      "N/p^(1/psi*)", "multi-round load", "N/p^(1/rho*)",
-                      "lower bnd N/p^(1/tau*)"});
-
-  bool all_ok = true;
-  for (const auto& entry : catalog::StandardRoster()) {
-    const Hypergraph& q = entry.query;
-    Rational psi = EdgeQuasiPackingNumber(q);
-    Rational rho = RhoStar(q);
-    Rational tau = TauStar(q);
-    bool acyclic = IsAlphaAcyclic(q);
-
-    Instance instance = workload::MatchingInstance(q, n);
-
-    OneRoundOptions or_options;
-    or_options.collect = false;
-    OneRoundResult one = ComputeOneRoundSkewAware(q, instance, p, or_options);
-    double psi_theory =
-        static_cast<double>(n) / std::pow(static_cast<double>(p), 1.0 / psi.ToDouble());
-
-    std::string multi_load = "-";
-    std::string rho_theory = "-";
-    if (acyclic) {
-      AcyclicRunOptions options;
-      options.collect = false;
-      options.p = p;
-      AcyclicRunResult run = ComputeAcyclicJoin(q, instance, options);
-      multi_load = std::to_string(run.max_load);
-      double theory =
-          static_cast<double>(n) / std::pow(static_cast<double>(p), 1.0 / rho.ToDouble());
-      rho_theory = FormatDouble(theory, 0);
-      // Shape: within 16x of theory.
-      double measured = static_cast<double>(run.max_load);
-      if (measured > 16.0 * theory || measured * 16.0 < theory) all_ok = false;
-    }
-
-    std::string lower = "-";
-    PackingProvability witness = AnalyzePackingProvable(q);
-    if (witness.provable) {
-      lower = FormatDouble(lowerbound::CountingArgumentLoadBound(n, p, tau), 0);
-    }
-
-    table.AddRow({entry.name, acyclic ? "acyclic" : "cyclic", psi.ToString(), rho.ToString(),
-                  tau.ToString(), std::to_string(one.max_load), FormatDouble(psi_theory, 0),
-                  multi_load, rho_theory, lower});
-  }
-  table.Print(std::cout);
-  std::cout << "(matching instances are skew-free, so the one-round algorithm performs at\n"
-               " its tau*-governed best here; its psi* column is the worst-case guarantee,\n"
-               " attained on the adversarial instances of bench_intro_gap.)\n";
-
-  bench::Verdict("Table1", all_ok);
-  return all_ok ? 0 : 1;
-}
-
-}  // namespace
-}  // namespace coverpack
-
-int main() { return coverpack::RunBench(); }
+int main() { return coverpack::bench::RunExperimentStandalone("table1_complexity"); }

@@ -1,76 +1,9 @@
 /// \file bench_thm2_subjoin_load.cc
-/// \brief Validates Theorems 1/2: the conservative run stays within a
-/// constant of its subjoin-based threshold L, and the threshold adapts to
-/// the instance (random instances get a smaller L than worst-case ones).
+/// \brief Thin wrapper: the experiment body lives in
+/// bench/experiments/thm2_subjoin_load.cc and is registered in the experiment
+/// registry, so the unified driver (coverpack_bench) and this historical
+/// one-display binary share one implementation.
 
-#include <iostream>
+#include "experiments/experiments.h"
 
-#include "bench_util.h"
-#include "core/acyclic_join.h"
-#include "core/load_planner.h"
-#include "query/catalog.h"
-#include "query/join_tree.h"
-#include "workload/generators.h"
-
-namespace coverpack {
-namespace {
-
-int RunBench() {
-  bench::Banner("Theorem 2",
-                "conservative run: load O(L) with L = max_S (|subjoin(S)|/p)^(1/|S|)");
-
-  Hypergraph q = catalog::Path(4);
-  auto tree = JoinTree::Build(q);
-  bool all_ok = true;
-
-  TablePrinter table({"instance", "N", "p", "L planned", "L measured", "measured/planned",
-                      "rounds"});
-  for (uint32_t p : {16u, 64u, 256u}) {
-    for (const char* kind : {"random", "matching"}) {
-      uint64_t n = 10000;
-      Rng rng(77);
-      Instance instance = std::string(kind) == "random"
-                              ? workload::UniformInstance(q, n, n / 10, &rng)
-                              : workload::MatchingInstance(q, n);
-      AcyclicRunOptions options;
-      options.policy = RunPolicy::kConservative;
-      options.collect = false;
-      options.p = p;
-      AcyclicRunResult run = ComputeAcyclicJoin(q, instance, options);
-      double ratio =
-          static_cast<double>(run.max_load) / static_cast<double>(run.load_threshold);
-      table.AddRow({kind, std::to_string(n), std::to_string(p),
-                    std::to_string(run.load_threshold), std::to_string(run.max_load),
-                    FormatDouble(ratio, 2), std::to_string(run.rounds)});
-      // Shape claim: measured load within a constant factor of L.
-      if (ratio > 8.0) all_ok = false;
-    }
-  }
-  table.Print(std::cout);
-
-  // Instance adaptivity: the subjoin threshold on a semi-join-reducible
-  // instance is much smaller than the worst-case product bound.
-  uint64_t n = 10000;
-  Instance sparse(q);
-  for (Value v = 0; v < n; ++v) {
-    sparse[0].AppendRow({v, v});
-    sparse[1].AppendRow({v, v});
-    sparse[2].AppendRow({v, v});
-    sparse[3].AppendRow({v, v});
-  }
-  uint64_t adaptive = PlanLoadConservative(q, *tree, sparse, 64);
-  uint64_t worst_case = PlanLoadOptimal(q, sparse, 64);
-  std::cout << "matching instance: adaptive Theorem-2 L = " << adaptive
-            << " vs worst-case Theorem-4 L = " << worst_case << "\n";
-  // Disconnected pairs on a matching instance still have product subjoins,
-  // so adaptivity is bounded; but the adaptive L never exceeds worst-case.
-  all_ok = all_ok && adaptive <= worst_case + 1;
-
-  bench::Verdict("Theorem2", all_ok);
-  return all_ok ? 0 : 1;
-}
-
-}  // namespace
-}  // namespace coverpack
-
-int main() { return coverpack::RunBench(); }
+int main() { return coverpack::bench::RunExperimentStandalone("thm2_subjoin_load"); }

@@ -1,67 +1,9 @@
 /// \file bench_thm5_random_queries.cc
-/// \brief Generalization check for Theorem 5: the fitted load exponent
-/// matches -1/rho* not just on the catalog queries but on randomly
-/// generated alpha-acyclic shapes.
+/// \brief Thin wrapper: the experiment body lives in
+/// bench/experiments/thm5_random_queries.cc and is registered in the experiment
+/// registry, so the unified driver (coverpack_bench) and this historical
+/// one-display binary share one implementation.
 
-#include <cmath>
-#include <iostream>
+#include "experiments/experiments.h"
 
-#include "bench_util.h"
-#include "core/acyclic_join.h"
-#include "lp/covers.h"
-#include "query/join_tree.h"
-#include "workload/generators.h"
-#include "workload/random_queries.h"
-
-namespace coverpack {
-namespace {
-
-int RunBench() {
-  bench::Banner("Theorem 5 (random shapes)",
-                "load exponent -1/rho* on randomly generated acyclic queries");
-
-  std::vector<uint32_t> ps{16, 64, 256, 1024};
-  TablePrinter table({"seed", "query", "rho*", "fitted", "theory", "match"});
-  uint32_t matches = 0;
-  uint32_t total = 0;
-  for (uint64_t seed = 1; seed <= 10; ++seed) {
-    Rng rng(seed * 48271);
-    workload::RandomAcyclicOptions options;
-    options.min_edges = 3;
-    options.max_edges = 6;
-    Hypergraph q = workload::RandomAcyclicQuery(&rng, options);
-    Rational rho = RhoStar(q);
-    double theory = -1.0 / rho.ToDouble();
-    // Size N by query weight so the sweep stays fast.
-    uint64_t n = rho >= Rational(4) ? 2000 : 8000;
-    Instance instance = workload::MatchingInstance(q, n);
-
-    std::vector<double> xs;
-    std::vector<double> ys;
-    for (uint32_t p : ps) {
-      AcyclicRunOptions run_options;
-      run_options.collect = false;
-      run_options.p = p;
-      AcyclicRunResult run = ComputeAcyclicJoin(q, instance, run_options);
-      xs.push_back(p);
-      ys.push_back(static_cast<double>(run.max_load));
-    }
-    PowerLawFit fit = FitPowerLaw(xs, ys);
-    bool ok = std::abs(fit.slope - theory) < 0.15;
-    matches += ok;
-    ++total;
-    table.AddRow({std::to_string(seed), q.ToString(), rho.ToString(),
-                  FormatDouble(fit.slope, 3), FormatDouble(theory, 3),
-                  ok ? "MATCH" : "DEVIATION"});
-  }
-  table.Print(std::cout);
-  std::cout << matches << "/" << total << " random acyclic queries match -1/rho*\n";
-  bool ok = matches == total;
-  bench::Verdict("Theorem5Random", ok);
-  return ok ? 0 : 1;
-}
-
-}  // namespace
-}  // namespace coverpack
-
-int main() { return coverpack::RunBench(); }
+int main() { return coverpack::bench::RunExperimentStandalone("thm5_random_queries"); }

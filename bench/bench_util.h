@@ -1,25 +1,34 @@
 /// \file bench_util.h
-/// \brief Shared helpers for the per-table / per-figure bench binaries.
+/// \brief Shared helpers for the bench experiments and their binaries.
 ///
-/// Every binary under bench/ regenerates one display of the paper (see
-/// DESIGN.md's per-experiment index) and prints a self-contained text
-/// report: the paper's claim, the measured numbers, and a PASS/DEVIATION
-/// verdict on the shape-level comparison.
+/// Every experiment under bench/experiments/ regenerates one display of
+/// the paper (see DESIGN.md's per-experiment index) and prints a
+/// self-contained text report: the paper's claim, the measured numbers,
+/// and a PASS/DEVIATION verdict on the shape-level comparison. The same
+/// helpers also record what they print into the experiment's
+/// telemetry::RunReport, so the text report and BENCH_results.json can
+/// never drift apart.
 
 #ifndef COVERPACK_BENCH_BENCH_UTIL_H_
 #define COVERPACK_BENCH_BENCH_UTIL_H_
 
+// <cmath> is included directly: ReportExponent calls std::abs on double,
+// and relying on a transitive <cstdint> (via math_util.h) can silently
+// select the integer abs overload set on some toolchains.
+#include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "telemetry/run_report.h"
 #include "util/math_util.h"
 #include "util/table_printer.h"
 
 namespace coverpack {
 namespace bench {
 
-/// Prints the standard banner for a bench binary.
+/// Prints the standard banner for a bench experiment.
 inline void Banner(const std::string& id, const std::string& claim) {
   std::cout << "=============================================================\n";
   std::cout << "EXPERIMENT " << id << "\n";
@@ -37,9 +46,26 @@ inline bool ReportExponent(const std::string& label, double fitted, double theor
   return ok;
 }
 
+/// Same, but also records the comparison into `report` for
+/// BENCH_results.json.
+inline bool ReportExponent(telemetry::RunReport& report, const std::string& label,
+                           double fitted, double theory, double tolerance = 0.15) {
+  bool ok = ReportExponent(label, fitted, theory, tolerance);
+  report.exponents.push_back({label, fitted, theory, tolerance, ok});
+  return ok;
+}
+
 /// Prints the final verdict line (grep-able by EXPERIMENTS.md tooling).
 inline void Verdict(const std::string& id, bool ok) {
   std::cout << "VERDICT " << id << ": " << (ok ? "SHAPE-REPRODUCED" : "DEVIATION") << "\n\n";
+}
+
+/// Records the experiment outcome and prints its VERDICT line. Every
+/// experiment ends with this call; the returned report is what the
+/// unified driver serializes.
+inline void FinishReport(telemetry::RunReport& report, bool ok) {
+  report.ok = ok;
+  Verdict(report.display_id, ok);
 }
 
 }  // namespace bench

@@ -1,0 +1,143 @@
+/// \file coverpack_bench.cc
+/// \brief Unified bench driver: runs any subset of the registered
+/// experiments, prints the same text reports the per-display binaries
+/// always have, and writes the structured results as BENCH_results.json.
+///
+/// Usage:
+///   coverpack_bench                 # run everything
+///   coverpack_bench --list          # list experiment ids and exit
+///   coverpack_bench --fast          # only the CI fast subset
+///   coverpack_bench --filter table1 # case-insensitive substring, repeatable
+///   coverpack_bench --out path.json # default: BENCH_results.json in CWD
+///
+/// Exit status: 0 iff every selected experiment reproduces its claim
+/// (verdict SHAPE-REPRODUCED); 1 on any DEVIATION; 2 on usage errors or
+/// an empty selection.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiments/experiments.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/run_report.h"
+
+namespace coverpack {
+namespace bench {
+namespace {
+
+struct DriverOptions {
+  bool list = false;
+  bool fast_only = false;
+  std::vector<std::string> filters;
+  std::string out_path = "BENCH_results.json";
+};
+
+int Usage(std::ostream& os, int code) {
+  os << "usage: coverpack_bench [--list] [--fast] [--filter SUBSTR]... [--out PATH]\n"
+        "  --list          list experiment ids and exit\n"
+        "  --fast          run only the fast subset (the CI default)\n"
+        "  --filter SUBSTR keep experiments whose id or display id contains\n"
+        "                  SUBSTR (case-insensitive); repeatable, OR-ed\n"
+        "  --out PATH      where to write the JSON results\n"
+        "                  (default BENCH_results.json)\n";
+  return code;
+}
+
+bool Selected(const Experiment& experiment, const DriverOptions& options) {
+  if (options.fast_only && !experiment.fast) return false;
+  if (options.filters.empty()) return true;
+  for (const std::string& filter : options.filters) {
+    if (ExperimentMatchesFilter(experiment, filter)) return true;
+  }
+  return false;
+}
+
+int RunDriver(const DriverOptions& options) {
+  std::vector<const Experiment*> selected;
+  for (const Experiment& experiment : AllExperiments()) {
+    if (Selected(experiment, options)) selected.push_back(&experiment);
+  }
+
+  if (options.list) {
+    for (const Experiment* experiment : selected) {
+      std::cout << experiment->id << "\t" << (experiment->fast ? "fast" : "slow") << "\t"
+                << experiment->title << "\n";
+    }
+    return 0;
+  }
+  if (selected.empty()) {
+    std::cerr << "coverpack_bench: no experiment matches the given filters\n";
+    return 2;
+  }
+
+  std::vector<telemetry::RunReport> reports;
+  reports.reserve(selected.size());
+  for (const Experiment* experiment : selected) {
+    auto start = std::chrono::steady_clock::now();
+    telemetry::RunReport report = experiment->run(*experiment);
+    auto end = std::chrono::steady_clock::now();
+    report.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+    reports.push_back(std::move(report));
+    std::cout << "\n";
+  }
+
+  // Summary table + machine-readable dump.
+  telemetry::JsonValue doc = telemetry::JsonValue::Object();
+  doc.Set("schema_version", telemetry::kSchemaVersion);
+  doc.Set("suite", "coverpack");
+  doc.Set("count", static_cast<uint64_t>(reports.size()));
+  telemetry::JsonValue results = telemetry::JsonValue::Array();
+  uint32_t reproduced = 0;
+  std::cout << "==== coverpack_bench summary ====\n";
+  for (const telemetry::RunReport& report : reports) {
+    reproduced += report.ok ? 1 : 0;
+    std::cout << (report.ok ? "  [ok]        " : "  [DEVIATION] ") << report.id << "  ("
+              << static_cast<int64_t>(report.wall_ms) << " ms)\n";
+    results.Append(report.ToJson());
+  }
+  doc.Set("results", std::move(results));
+  std::cout << reproduced << "/" << reports.size() << " experiments reproduce their claims\n";
+
+  std::ofstream out(options.out_path);
+  if (!out) {
+    std::cerr << "coverpack_bench: cannot open " << options.out_path << " for writing\n";
+    return 2;
+  }
+  doc.Write(out);
+  out << "\n";
+  out.close();
+  std::cout << "wrote " << options.out_path << "\n";
+
+  return reproduced == reports.size() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace coverpack
+
+int main(int argc, char** argv) {
+  coverpack::bench::DriverOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--fast") {
+      options.fast_only = true;
+    } else if (arg == "--filter") {
+      if (i + 1 >= argc) return coverpack::bench::Usage(std::cerr, 2);
+      options.filters.push_back(argv[++i]);
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) return coverpack::bench::Usage(std::cerr, 2);
+      options.out_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return coverpack::bench::Usage(std::cout, 0);
+    } else {
+      std::cerr << "coverpack_bench: unknown argument " << arg << "\n";
+      return coverpack::bench::Usage(std::cerr, 2);
+    }
+  }
+  return coverpack::bench::RunDriver(options);
+}

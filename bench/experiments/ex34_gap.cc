@@ -1,0 +1,74 @@
+/// \file ex34_gap.cc
+/// \brief Regenerates Example 3.4: on the Figure 4 query's hard instance,
+/// the conservative (Theorem 2) threshold pays for a 7-relation subjoin of
+/// size N^7 and lands at N / p^(1/7), strictly worse than the optimal
+/// run's N / p^(1/6) — the non-tightness that motivates Section 4.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/acyclic_join.h"
+#include "core/load_planner.h"
+#include "experiments/runners.h"
+#include "lowerbound/hard_instance.h"
+#include "query/catalog.h"
+#include "query/join_tree.h"
+
+namespace coverpack {
+namespace bench {
+
+telemetry::RunReport RunEx34Gap(const Experiment& e) {
+  telemetry::RunReport report = MakeReport(e);
+  Banner(e.title, e.claim);
+
+  Hypergraph q = catalog::Figure4Query();
+  uint64_t n = 512;
+  lowerbound::HardInstance hard = lowerbound::Example34Instance(q, n);
+  auto tree = JoinTree::Build(q);
+  report.AddParam("N", n);
+  report.AddParam("query", q.ToString());
+
+  TablePrinter table({"p", "L conservative", "N/p^(1/7)", "L optimal", "N/p^(1/6)",
+                      "gap L_cons/L_opt"});
+  bool gap_everywhere = true;
+  for (uint32_t p : {64u, 512u, 4096u}) {
+    uint64_t conservative = PlanLoadConservative(q, *tree, hard.instance, p);
+    uint64_t optimal = PlanLoadOptimal(q, hard.instance, p);
+    double t7 = static_cast<double>(n) / std::pow(static_cast<double>(p), 1.0 / 7.0);
+    double t6 = static_cast<double>(n) / std::pow(static_cast<double>(p), 1.0 / 6.0);
+    table.AddRow({std::to_string(p), std::to_string(conservative), FormatDouble(t7, 1),
+                  std::to_string(optimal), FormatDouble(t6, 1),
+                  FormatDouble(static_cast<double>(conservative) / optimal, 3)});
+    if (p == 512) {
+      report.metrics.SetGauge("gap_at_p512",
+                              static_cast<double>(conservative) / static_cast<double>(optimal));
+    }
+    if (conservative <= optimal) gap_everywhere = false;
+  }
+  table.Print(std::cout);
+
+  // Execute both runs at p = 512 and report measured loads.
+  uint32_t p = 512;
+  bool run_ok = true;
+  for (RunPolicy policy : {RunPolicy::kConservative, RunPolicy::kOptimal}) {
+    AcyclicRunOptions options;
+    options.policy = policy;
+    options.collect = false;
+    options.p = p;
+    AcyclicRunResult run = ComputeAcyclicJoin(q, hard.instance, options);
+    const char* policy_name =
+        policy == RunPolicy::kConservative ? "conservative" : "optimal";
+    ProfileRun(report, std::string(policy_name) + "/p512", run.load_tracker);
+    std::cout << policy_name << " run at p=512: L planned " << run.load_threshold
+              << ", measured " << run.max_load << ", rounds " << run.rounds << ", servers "
+              << run.servers_used << "\n";
+    if (run.max_load > 16 * run.load_threshold) run_ok = false;
+  }
+
+  FinishReport(report, gap_everywhere && run_ok);
+  return report;
+}
+
+}  // namespace bench
+}  // namespace coverpack

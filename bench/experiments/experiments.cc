@@ -1,0 +1,127 @@
+#include "experiments/experiments.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+
+#include "experiments/runners.h"
+#include "telemetry/metrics.h"
+
+namespace coverpack {
+namespace bench {
+
+const std::vector<Experiment>& AllExperiments() {
+  static const std::vector<Experiment> kExperiments = {
+      {"table1_complexity", "Table 1", "Table1",
+       "one-round ~ N/p^(1/psi*); multi-round acyclic ~ N/p^(1/rho*) (Thm 5); "
+       "cyclic lower bound ~ N/p^(1/tau*) (Thms 6/7)",
+       /*fast=*/true, &RunTable1Complexity},
+      {"fig1_classification", "Figure 1", "Figure1",
+       "classification of join queries into nested structural classes",
+       /*fast=*/true, &RunFig1Classification},
+      {"fig2_box_join", "Figure 2", "Figure2",
+       "box join: rho* = 2 ({R1,R2}), tau* = 3 ({R3,R4,R5})",
+       /*fast=*/true, &RunFig2BoxJoin},
+      {"fig3_cover_vs_pack", "Figure 3", "Figure3",
+       "rho* vs tau* splits reduced queries into three regions; psi* >= both",
+       /*fast=*/true, &RunFig3CoverVsPack},
+      {"fig4_join_tree", "Figure 4", "Figure4",
+       "the example acyclic query has a valid join tree; rho* = 6",
+       /*fast=*/true, &RunFig4JoinTree},
+      {"fig56_decomposition", "Figures 5+6", "Figures5and6",
+       "twig decompositions / linear covers assemble S(E) with max set size rho*",
+       /*fast=*/true, &RunFig56Decomposition},
+      {"fig7_packing_provable", "Figure 7", "Figure7",
+       "edge-packing-provable degree-two joins (reduced, no odd cycle, "
+       "constant-small witness cover)",
+       /*fast=*/true, &RunFig7PackingProvable},
+      {"thm2_subjoin_load", "Theorem 2", "Theorem2",
+       "conservative run: load O(L) with L = max_S (|subjoin(S)|/p)^(1/|S|)",
+       /*fast=*/true, &RunThm2SubjoinLoad},
+      {"thm5_optimal_acyclic", "Theorem 5", "Theorem5",
+       "acyclic joins run in O(1) rounds with load O(N / p^(1/rho*))",
+       /*fast=*/false, &RunThm5OptimalAcyclic},
+      {"thm5_random_queries", "Theorem 5 (random shapes)", "Theorem5Random",
+       "load exponent -1/rho* on randomly generated acyclic queries",
+       /*fast=*/false, &RunThm5RandomQueries},
+      {"thm6_box_lower", "Theorem 6", "Theorem6",
+       "box join needs load Omega(N / p^(1/3)) in O(1) rounds",
+       /*fast=*/false, &RunThm6BoxLower},
+      {"thm7_degree_two", "Theorem 7", "Theorem7",
+       "edge-packing-provable degree-two joins need load Omega(N / p^(1/tau*))",
+       /*fast=*/false, &RunThm7DegreeTwo},
+      {"ex34_gap", "Example 3.4", "Example3.4",
+       "conservative threshold N/p^(1/7) vs worst-case-optimal N/p^(1/6) on the "
+       "Figure 4 hard instance",
+       /*fast=*/true, &RunEx34Gap},
+      {"intro_gap", "Section 1.3", "Section1.3",
+       "multi-round beats one-round by sqrt(p) on the semi-join example and by "
+       "p^((k-1)/k) on star-dual joins",
+       /*fast=*/false, &RunIntroGap},
+      {"ablation_policy", "Ablation", "Ablation",
+       "S^x choice and threshold planner, factored apart",
+       /*fast=*/false, &RunAblationPolicy},
+      {"em_reduction", "Section 1.4 (EM corollary)", "EMReduction",
+       "acyclic joins in EM with O(N^rho* / (M^(rho*-1) B)) I/Os via the "
+       "MPC->EM reduction",
+       /*fast=*/true, &RunEmReduction},
+      {"output_sensitivity", "Output sensitivity (Sec. 1.3)", "OutputSensitivity",
+       "output-balanced O(N/p + OUT/p) vs Theorem 5's N/p^(1/rho*): crossover "
+       "as OUT approaches the AGM bound",
+       /*fast=*/false, &RunOutputSensitivity},
+  };
+  return kExperiments;
+}
+
+const Experiment* FindExperiment(const std::string& id) {
+  for (const Experiment& experiment : AllExperiments()) {
+    if (id == experiment.id) return &experiment;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string Lowered(const std::string& s) {
+  std::string lowered = s;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return lowered;
+}
+
+}  // namespace
+
+bool ExperimentMatchesFilter(const Experiment& experiment, const std::string& filter) {
+  std::string needle = Lowered(filter);
+  return Lowered(experiment.id).find(needle) != std::string::npos ||
+         Lowered(experiment.display_id).find(needle) != std::string::npos;
+}
+
+int RunExperimentStandalone(const std::string& id) {
+  const Experiment* experiment = FindExperiment(id);
+  if (experiment == nullptr) {
+    std::cerr << "unknown experiment id: " << id << "\n";
+    return 2;
+  }
+  telemetry::RunReport report = experiment->run(*experiment);
+  return report.ok ? 0 : 1;
+}
+
+void ProfileRun(telemetry::RunReport& report, const std::string& name,
+                const LoadTracker& tracker) {
+  telemetry::LoadSkewProfile profile = telemetry::ProfileLoadTracker(tracker, name);
+  // Skew ratios are max/mean >= 1 on nonempty rounds; the histogram makes
+  // cross-experiment imbalance comparable at a glance.
+  static const std::vector<double> kSkewBounds{1.0, 2.0, 4.0, 8.0,
+                                               16.0, 32.0, 64.0, 128.0};
+  telemetry::Histogram& histogram =
+      report.metrics.GetHistogram("round_skew_ratio", kSkewBounds);
+  for (const telemetry::RoundLoadStats& round : profile.rounds) {
+    if (round.total != 0) histogram.Observe(round.skew_ratio);
+  }
+  report.metrics.AddCounter("profiled_runs");
+  report.AddLoadProfile(std::move(profile));
+}
+
+}  // namespace bench
+}  // namespace coverpack

@@ -1,0 +1,48 @@
+/// \file fig1_classification.cc
+/// \brief Regenerates Figure 1: the classification of join queries.
+///
+/// Prints, for every catalog query, its structural classes (alpha-/berge-
+/// acyclic, tree, path, r-hierarchical, Loomis-Whitney, degree-two) and
+/// checks the containments the figure draws: path < tree < alpha-acyclic,
+/// berge-acyclic < alpha-acyclic, LW and degree-two straddling the cyclic
+/// side.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "experiments/runners.h"
+#include "query/catalog.h"
+#include "query/properties.h"
+
+namespace coverpack {
+namespace bench {
+
+telemetry::RunReport RunFig1Classification(const Experiment& e) {
+  telemetry::RunReport report = MakeReport(e);
+  Banner(e.title, e.claim);
+
+  TablePrinter table({"query", "relations", "attrs", "classification"});
+  bool containments_hold = true;
+  for (const auto& entry : catalog::StandardRoster()) {
+    report.metrics.AddCounter("queries_classified");
+    table.AddRow({entry.name, std::to_string(entry.query.num_edges()),
+                  std::to_string(entry.query.AllAttrs().size()),
+                  ClassificationString(entry.query)});
+    // Containments of Figure 1.
+    if (IsPathJoin(entry.query) && !IsTreeJoin(entry.query)) containments_hold = false;
+    if (IsTreeJoin(entry.query) && !IsAlphaAcyclic(entry.query)) containments_hold = false;
+    if (IsBergeAcyclic(entry.query) && !IsAlphaAcyclic(entry.query)) containments_hold = false;
+    if (IsLoomisWhitney(entry.query) && IsAlphaAcyclic(entry.query)) containments_hold = false;
+  }
+  table.Print(std::cout);
+  report.AddParam("roster_size", report.metrics.CounterValue("queries_classified"));
+
+  std::cout << "containments: path c tree c alpha-acyclic; berge c alpha; "
+               "LW joins are cyclic: "
+            << (containments_hold ? "all hold" : "VIOLATED") << "\n";
+  FinishReport(report, containments_hold);
+  return report;
+}
+
+}  // namespace bench
+}  // namespace coverpack

@@ -1,0 +1,36 @@
+/// \file runners.h
+/// \brief Run-function declarations for every registered experiment.
+///
+/// One function per file under bench/experiments/; the registry table in
+/// experiments.cc binds each to its id/title/claim row.
+
+#ifndef COVERPACK_BENCH_EXPERIMENTS_RUNNERS_H_
+#define COVERPACK_BENCH_EXPERIMENTS_RUNNERS_H_
+
+#include "experiments/experiments.h"
+
+namespace coverpack {
+namespace bench {
+
+telemetry::RunReport RunTable1Complexity(const Experiment& e);
+telemetry::RunReport RunFig1Classification(const Experiment& e);
+telemetry::RunReport RunFig2BoxJoin(const Experiment& e);
+telemetry::RunReport RunFig3CoverVsPack(const Experiment& e);
+telemetry::RunReport RunFig4JoinTree(const Experiment& e);
+telemetry::RunReport RunFig56Decomposition(const Experiment& e);
+telemetry::RunReport RunFig7PackingProvable(const Experiment& e);
+telemetry::RunReport RunThm2SubjoinLoad(const Experiment& e);
+telemetry::RunReport RunThm5OptimalAcyclic(const Experiment& e);
+telemetry::RunReport RunThm5RandomQueries(const Experiment& e);
+telemetry::RunReport RunThm6BoxLower(const Experiment& e);
+telemetry::RunReport RunThm7DegreeTwo(const Experiment& e);
+telemetry::RunReport RunEx34Gap(const Experiment& e);
+telemetry::RunReport RunIntroGap(const Experiment& e);
+telemetry::RunReport RunAblationPolicy(const Experiment& e);
+telemetry::RunReport RunEmReduction(const Experiment& e);
+telemetry::RunReport RunOutputSensitivity(const Experiment& e);
+
+}  // namespace bench
+}  // namespace coverpack
+
+#endif  // COVERPACK_BENCH_EXPERIMENTS_RUNNERS_H_

@@ -1,0 +1,76 @@
+/// \file thm5_random_queries.cc
+/// \brief Generalization check for Theorem 5: the fitted load exponent
+/// matches -1/rho* not just on the catalog queries but on randomly
+/// generated alpha-acyclic shapes.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/acyclic_join.h"
+#include "experiments/runners.h"
+#include "lp/covers.h"
+#include "query/join_tree.h"
+#include "workload/generators.h"
+#include "workload/random_queries.h"
+
+namespace coverpack {
+namespace bench {
+
+telemetry::RunReport RunThm5RandomQueries(const Experiment& e) {
+  telemetry::RunReport report = MakeReport(e);
+  Banner(e.title, e.claim);
+
+  std::vector<uint32_t> ps{16, 64, 256, 1024};
+  TablePrinter table({"seed", "query", "rho*", "fitted", "theory", "match"});
+  uint32_t matches = 0;
+  uint32_t total = 0;
+  report.AddParam("seeds", uint64_t{10});
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 48271);
+    workload::RandomAcyclicOptions options;
+    options.min_edges = 3;
+    options.max_edges = 6;
+    Hypergraph q = workload::RandomAcyclicQuery(&rng, options);
+    Rational rho = RhoStar(q);
+    double theory = -1.0 / rho.ToDouble();
+    // Size N by query weight so the sweep stays fast.
+    uint64_t n = rho >= Rational(4) ? 2000 : 8000;
+    Instance instance = workload::MatchingInstance(q, n);
+
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (uint32_t p : ps) {
+      AcyclicRunOptions run_options;
+      run_options.collect = false;
+      run_options.p = p;
+      AcyclicRunResult run = ComputeAcyclicJoin(q, instance, run_options);
+      if (p == ps.back()) {
+        ProfileRun(report, "seed" + std::to_string(seed) + "/p" + std::to_string(p),
+                   run.load_tracker);
+      }
+      xs.push_back(p);
+      ys.push_back(static_cast<double>(run.max_load));
+    }
+    PowerLawFit fit = FitPowerLaw(xs, ys);
+    bool ok = std::abs(fit.slope - theory) < 0.15;
+    report.exponents.push_back(
+        {"seed" + std::to_string(seed) + "/" + q.ToString(), fit.slope, theory, 0.15, ok});
+    matches += ok;
+    ++total;
+    table.AddRow({std::to_string(seed), q.ToString(), rho.ToString(),
+                  FormatDouble(fit.slope, 3), FormatDouble(theory, 3),
+                  ok ? "MATCH" : "DEVIATION"});
+  }
+  table.Print(std::cout);
+  std::cout << matches << "/" << total << " random acyclic queries match -1/rho*\n";
+  report.metrics.AddCounter("random_queries_matched", matches);
+  report.metrics.AddCounter("random_queries_total", total);
+  bool ok = matches == total;
+  FinishReport(report, ok);
+  return report;
+}
+
+}  // namespace bench
+}  // namespace coverpack

@@ -508,6 +508,7 @@ AcyclicRunResult ComputeAcyclicJoin(const Hypergraph& query, const Instance& ins
   result.servers_used = run.cluster->p();
   result.total_communication = run.cluster->tracker().TotalCommunication();
   result.load_threshold = load;
+  result.load_tracker = run.cluster->tracker();
   if (options.collect) {
     result.results = std::move(run.results);
     result.output_count = result.results.size();

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "mpc/load_tracker.h"
 #include "query/hypergraph.h"
 #include "relation/instance.h"
 
@@ -75,6 +76,10 @@ struct AcyclicRunResult {
   uint64_t total_communication = 0;
   uint64_t load_threshold = 0; ///< the L the run was executed with
   std::vector<TraceEvent> trace;  ///< populated when options.trace is set
+  /// The run's full (round, server) load matrix — max_load/rounds/
+  /// total_communication above are summaries of it. The telemetry layer
+  /// derives per-round skew profiles from this tracker.
+  LoadTracker load_tracker{1};
 };
 
 /// Renders a trace as an indented decomposition tree.

@@ -93,6 +93,7 @@ OneRoundResult ComputeOneRoundVanilla(const Hypergraph& query, const Instance& i
   result.max_load = hc.max_receive_load;
   result.output_count = hc.output_count;
   result.servers_used = shares.grid_size;
+  result.load_tracker = cluster.tracker();
   if (collect) result.results = hc.results.Gather();
   return result;
 }
@@ -111,6 +112,10 @@ OneRoundResult ComputeOneRoundSkewAware(const Hypergraph& query, const Instance&
   // disjoint server ranges, so the whole computation is one round.
   uint64_t max_load = 0;
   uint64_t servers = 0;
+  // Leaf trackers, concatenated into result.load_tracker at the end so the
+  // telemetry layer sees the round-0 load distribution across the whole
+  // (disjoint-group) cluster.
+  std::vector<LoadTracker> leaf_trackers;
 
   while (!worklist.empty()) {
     WorkItem item = std::move(worklist.back());
@@ -137,6 +142,7 @@ OneRoundResult ComputeOneRoundSkewAware(const Hypergraph& query, const Instance&
                                                    0, options.collect);
       max_load = std::max(max_load, hc.max_receive_load);
       servers += shares.grid_size;
+      leaf_trackers.push_back(cluster.tracker());
       if (options.collect) {
         Relation local = hc.results.Gather();
         for (const auto& [attr, value] : item.bindings) {
@@ -219,6 +225,15 @@ OneRoundResult ComputeOneRoundSkewAware(const Hypergraph& query, const Instance&
   result.max_load = max_load;
   result.servers_used = servers;
   result.rounds = 1;
+  uint64_t tracker_servers = 0;
+  for (const LoadTracker& leaf : leaf_trackers) tracker_servers += leaf.num_servers();
+  result.load_tracker = LoadTracker(
+      static_cast<uint32_t>(std::max<uint64_t>(1, tracker_servers)));
+  uint32_t offset = 0;
+  for (const LoadTracker& leaf : leaf_trackers) {
+    result.load_tracker.Merge(leaf, offset, /*round_offset=*/0);
+    offset += leaf.num_servers();
+  }
   return result;
 }
 

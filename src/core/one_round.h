@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "mpc/load_tracker.h"
 #include "query/hypergraph.h"
 #include "relation/instance.h"
 
@@ -27,6 +28,10 @@ struct OneRoundResult {
   uint64_t max_load = 0;     ///< max tuples received by one server
   uint64_t servers_used = 0;
   uint32_t rounds = 1;
+  /// Concatenated per-server loads of every sub-hypercube the run fired
+  /// (all in round 0; disjoint server ranges). Source for the telemetry
+  /// layer's skew profiles.
+  LoadTracker load_tracker{1};
 };
 
 /// Options for the one-round algorithm.

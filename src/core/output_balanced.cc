@@ -109,6 +109,7 @@ OutputBalancedResult ComputeOutputBalanced(const Hypergraph& query, const Instan
     result.rounds = round;
     result.max_load = cluster.tracker().MaxLoad();
     result.total_communication = cluster.tracker().TotalCommunication();
+    result.load_tracker = cluster.tracker();
     if (options.collect) result.results = Relation(query.AllAttrs());
     return result;
   }
@@ -169,6 +170,7 @@ OutputBalancedResult ComputeOutputBalanced(const Hypergraph& query, const Instan
   result.rounds = round;
   result.max_load = cluster.tracker().MaxLoad();
   result.total_communication = cluster.tracker().TotalCommunication();
+  result.load_tracker = cluster.tracker();
   return result;
 }
 

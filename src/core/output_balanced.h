@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "mpc/load_tracker.h"
 #include "query/hypergraph.h"
 #include "relation/instance.h"
 
@@ -28,6 +29,8 @@ struct OutputBalancedResult {
   uint32_t rounds = 0;
   uint64_t total_communication = 0;
   Relation results;        ///< materialized when collect (small instances)
+  /// Full (round, server) load matrix for telemetry skew profiling.
+  LoadTracker load_tracker{1};
 };
 
 /// Options for ComputeOutputBalanced.

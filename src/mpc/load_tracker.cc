@@ -47,6 +47,23 @@ uint64_t LoadTracker::TotalCommunication() const {
   return total;
 }
 
+const std::vector<uint64_t>& LoadTracker::RoundLoads(uint32_t round) const {
+  CP_CHECK_LT(round, rounds_.size());
+  return rounds_[round];
+}
+
+uint64_t LoadTracker::TotalOfRound(uint32_t round) const {
+  if (round >= rounds_.size()) return 0;
+  uint64_t total = 0;
+  for (uint64_t load : rounds_[round]) total += load;
+  return total;
+}
+
+double LoadTracker::MeanLoadOfRound(uint32_t round) const {
+  if (round >= rounds_.size()) return 0.0;
+  return static_cast<double>(TotalOfRound(round)) / static_cast<double>(num_servers_);
+}
+
 void LoadTracker::Merge(const LoadTracker& child, uint32_t server_offset,
                         uint32_t round_offset) {
   CP_CHECK_LE(server_offset + child.num_servers_, num_servers_);

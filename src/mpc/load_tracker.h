@@ -40,6 +40,17 @@ class LoadTracker {
   /// Total communication volume (sum over all cells).
   uint64_t TotalCommunication() const;
 
+  /// Per-server loads of one round (num_servers() entries, zeros included).
+  /// The round must exist. Read-only view for the telemetry profiler.
+  const std::vector<uint64_t>& RoundLoads(uint32_t round) const;
+
+  /// Sum of one round's row; zero if the round does not exist.
+  uint64_t TotalOfRound(uint32_t round) const;
+
+  /// Mean load of one round over *all* servers (busy or not); zero if the
+  /// round does not exist.
+  double MeanLoadOfRound(uint32_t round) const;
+
   /// Merges a child tracker that ran on a contiguous sub-range of this
   /// tracker's servers, starting at `server_offset`, with its round 0
   /// aligned to `round_offset` here.

@@ -1,0 +1,223 @@
+#include "telemetry/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace coverpack {
+namespace telemetry {
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kInt;
+  v.int_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Uint(uint64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kUint;
+  v.uint_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Double(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kDouble;
+  v.double_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+void JsonValue::Append(JsonValue element) {
+  CP_CHECK(kind_ == Kind::kArray) << "JsonValue::Append on a non-array";
+  array_.push_back(std::move(element));
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  CP_CHECK(kind_ == Kind::kObject) << "JsonValue::Set on a non-object";
+  for (auto& [existing_key, existing_value] : object_) {
+    if (existing_key == key) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+size_t JsonValue::size() const {
+  switch (kind_) {
+    case Kind::kArray:
+      return array_.size();
+    case Kind::kObject:
+      return object_.size();
+    default:
+      return 0;
+  }
+}
+
+void AppendJsonEscaped(const std::string& raw, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out->append(buffer);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+namespace {
+
+/// Shortest round-trip rendering of a finite double; integral values keep
+/// a trailing ".0" so consumers see a float, not an int.
+void WriteDouble(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << "null";
+    return;
+  }
+  char buffer[32];
+  auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  CP_CHECK(ec == std::errc());
+  std::string rendered(buffer, ptr);
+  if (rendered.find_first_of(".eE") == std::string::npos) rendered += ".0";
+  out << rendered;
+}
+
+void WriteString(std::ostream& out, const std::string& raw) {
+  std::string escaped;
+  escaped.reserve(raw.size() + 2);
+  AppendJsonEscaped(raw, &escaped);
+  out << escaped;
+}
+
+void Newline(std::ostream& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out << '\n';
+  for (int i = 0; i < indent * depth; ++i) out << ' ';
+}
+
+}  // namespace
+
+void JsonValue::WriteIndented(std::ostream& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out << "null";
+      break;
+    case Kind::kBool:
+      out << (bool_ ? "true" : "false");
+      break;
+    case Kind::kInt:
+      out << int_;
+      break;
+    case Kind::kUint:
+      out << uint_;
+      break;
+    case Kind::kDouble:
+      WriteDouble(out, double_);
+      break;
+    case Kind::kString:
+      WriteString(out, string_);
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out << "[]";
+        break;
+      }
+      out << '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out << ',';
+        Newline(out, indent, depth + 1);
+        array_[i].WriteIndented(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out << ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out << "{}";
+        break;
+      }
+      out << '{';
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out << ',';
+        Newline(out, indent, depth + 1);
+        WriteString(out, object_[i].first);
+        out << (indent > 0 ? ": " : ":");
+        object_[i].second.WriteIndented(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out << '}';
+      break;
+    }
+  }
+}
+
+void JsonValue::Write(std::ostream& out, int indent) const {
+  WriteIndented(out, indent, 0);
+}
+
+std::string JsonValue::ToString(int indent) const {
+  std::ostringstream out;
+  Write(out, indent);
+  return out.str();
+}
+
+}  // namespace telemetry
+}  // namespace coverpack

@@ -1,0 +1,98 @@
+/// \file json_writer.h
+/// \brief Dependency-free minimal JSON document builder and serializer.
+///
+/// The telemetry subsystem emits machine-readable run reports
+/// (BENCH_results.json) without taking on a third-party JSON dependency:
+/// the container images this repo builds in carry only gtest/benchmark.
+/// JsonValue is a small ordered document tree — enough to build objects,
+/// arrays, and scalars and serialize them as standards-compliant JSON.
+///
+/// Serialization guarantees (unit-tested in tests/json_writer_test.cc):
+///  * strings are escaped per RFC 8259 (quote, backslash, \b \f \n \r \t,
+///    other control characters as \u00XX);
+///  * non-finite doubles (NaN, +/-inf) render as `null` — JSON has no
+///    representation for them and emitting them raw would corrupt the file;
+///  * object keys keep insertion order, so diffs of BENCH_results.json are
+///    stable across runs;
+///  * integers round-trip exactly (no double conversion for int64/uint64).
+
+#ifndef COVERPACK_TELEMETRY_JSON_WRITER_H_
+#define COVERPACK_TELEMETRY_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coverpack {
+namespace telemetry {
+
+/// An ordered JSON document node: null, bool, int64, uint64, double,
+/// string, array, or object.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  /// Default-constructs null.
+  JsonValue() = default;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value);
+  static JsonValue Int(int64_t value);
+  static JsonValue Uint(uint64_t value);
+  static JsonValue Double(double value);
+  static JsonValue Str(std::string value);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Appends an element; the value must be an array.
+  void Append(JsonValue element);
+
+  /// Sets `key` on an object (insertion order preserved; setting an
+  /// existing key overwrites in place). The value must be an object.
+  void Set(const std::string& key, JsonValue value);
+
+  // Scalar-friendly Set overloads so call sites stay terse.
+  void Set(const std::string& key, bool value) { Set(key, Bool(value)); }
+  void Set(const std::string& key, int64_t value) { Set(key, Int(value)); }
+  void Set(const std::string& key, uint64_t value) { Set(key, Uint(value)); }
+  void Set(const std::string& key, uint32_t value) { Set(key, Uint(value)); }
+  void Set(const std::string& key, int value) { Set(key, Int(int64_t{value})); }
+  void Set(const std::string& key, double value) { Set(key, Double(value)); }
+  void Set(const std::string& key, const char* value) { Set(key, Str(value)); }
+  void Set(const std::string& key, const std::string& value) { Set(key, Str(value)); }
+
+  size_t size() const;
+
+  /// Serializes to `out`. `indent` > 0 pretty-prints with that many spaces
+  /// per nesting level; `indent` == 0 emits the compact one-line form.
+  void Write(std::ostream& out, int indent = 2) const;
+
+  std::string ToString(int indent = 2) const;
+
+ private:
+  void WriteIndented(std::ostream& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Appends the RFC 8259 escaped form of `raw` (with surrounding quotes)
+/// to `out`. Exposed for direct use and testing.
+void AppendJsonEscaped(const std::string& raw, std::string* out);
+
+}  // namespace telemetry
+}  // namespace coverpack
+
+#endif  // COVERPACK_TELEMETRY_JSON_WRITER_H_

@@ -1,0 +1,105 @@
+#include "telemetry/load_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpc/load_tracker.h"
+#include "util/audit.h"
+#include "util/logging.h"
+
+namespace coverpack {
+namespace telemetry {
+
+uint64_t LoadPercentile(std::vector<uint64_t> loads, double q) {
+  CP_CHECK(!loads.empty());
+  CP_CHECK_GE(q, 0.0);
+  CP_CHECK_LE(q, 100.0);
+  std::sort(loads.begin(), loads.end());
+  // Nearest-rank: the smallest value whose rank covers a q-fraction.
+  size_t rank = static_cast<size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(loads.size())));
+  if (rank == 0) rank = 1;
+  return loads[rank - 1];
+}
+
+namespace {
+
+RoundLoadStats ProfileRound(const LoadTracker& tracker, uint32_t round) {
+  const std::vector<uint64_t>& loads = tracker.RoundLoads(round);
+  RoundLoadStats stats;
+  stats.round = round;
+  stats.max_load = tracker.MaxLoadOfRound(round);
+  stats.total = tracker.TotalOfRound(round);
+  stats.mean_load = tracker.MeanLoadOfRound(round);
+  stats.p50 = LoadPercentile(loads, 50.0);
+  stats.p90 = LoadPercentile(loads, 90.0);
+  stats.p99 = LoadPercentile(loads, 99.0);
+  stats.skew_ratio =
+      stats.total == 0 ? 0.0 : static_cast<double>(stats.max_load) / stats.mean_load;
+  for (uint64_t load : loads) {
+    if (load != 0) ++stats.busy_servers;
+  }
+  // Percentiles over a sorted vector are report-monotone by construction;
+  // audit builds re-assert it against the independently computed max.
+  CP_AUDIT_LE(stats.p50, stats.p90);
+  CP_AUDIT_LE(stats.p90, stats.p99);
+  CP_AUDIT_LE(stats.p99, stats.max_load);
+  return stats;
+}
+
+}  // namespace
+
+LoadSkewProfile ProfileLoadTracker(const LoadTracker& tracker, std::string name) {
+  LoadSkewProfile profile;
+  profile.name = std::move(name);
+  profile.num_servers = tracker.num_servers();
+  profile.num_rounds = tracker.num_rounds();
+  profile.max_load = tracker.MaxLoad();
+  profile.total_communication = tracker.TotalCommunication();
+  profile.rounds.reserve(profile.num_rounds);
+  CP_AUDIT_ONLY(uint64_t round_total_sum = 0;)
+  for (uint32_t round = 0; round < profile.num_rounds; ++round) {
+    profile.rounds.push_back(ProfileRound(tracker, round));
+    CP_AUDIT_ONLY(round_total_sum += profile.rounds.back().total;)
+  }
+  // Conservation: the per-round totals must re-add to the tracker's total
+  // communication volume (a lost round here would silently understate skew).
+  CP_AUDIT_EQ(round_total_sum, profile.total_communication);
+  uint64_t cells =
+      static_cast<uint64_t>(profile.num_servers) * static_cast<uint64_t>(profile.num_rounds);
+  if (cells > 0 && profile.total_communication > 0) {
+    double mean_cell = static_cast<double>(profile.total_communication) /
+                       static_cast<double>(cells);
+    profile.overall_skew_ratio = static_cast<double>(profile.max_load) / mean_cell;
+  }
+  return profile;
+}
+
+JsonValue LoadSkewProfile::ToJson() const {
+  JsonValue value = JsonValue::Object();
+  value.Set("name", name);
+  value.Set("num_servers", num_servers);
+  value.Set("num_rounds", num_rounds);
+  value.Set("max_load", max_load);
+  value.Set("total_communication", total_communication);
+  value.Set("overall_skew_ratio", overall_skew_ratio);
+  JsonValue round_array = JsonValue::Array();
+  for (const RoundLoadStats& stats : rounds) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("round", stats.round);
+    entry.Set("max_load", stats.max_load);
+    entry.Set("mean_load", stats.mean_load);
+    entry.Set("p50", stats.p50);
+    entry.Set("p90", stats.p90);
+    entry.Set("p99", stats.p99);
+    entry.Set("skew_ratio", stats.skew_ratio);
+    entry.Set("total", stats.total);
+    entry.Set("busy_servers", stats.busy_servers);
+    round_array.Append(std::move(entry));
+  }
+  value.Set("rounds", std::move(round_array));
+  return value;
+}
+
+}  // namespace telemetry
+}  // namespace coverpack

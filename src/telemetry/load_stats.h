@@ -1,0 +1,71 @@
+/// \file load_stats.h
+/// \brief Load-skew profiling over a LoadTracker.
+///
+/// The MPC load L = max over (round, server) cells hides *how* the load is
+/// distributed — two runs with the same L can differ wildly in balance,
+/// which is exactly what "Instance and Output Optimal Parallel Algorithms
+/// for Acyclic Joins" and heterogeneous-machine MPC analyses care about.
+/// ProfileLoadTracker condenses a tracker into per-round distribution
+/// statistics (max/mean/percentiles over servers, skew ratio max/mean,
+/// round totals) plus run-level aggregates, ready for RunReport
+/// serialization.
+///
+/// Percentiles use the nearest-rank definition over *all* servers of the
+/// round (idle servers count as zero-load), so a run that leaves most of
+/// the cluster idle shows up as a high skew ratio and a low median.
+
+#ifndef COVERPACK_TELEMETRY_LOAD_STATS_H_
+#define COVERPACK_TELEMETRY_LOAD_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/json_writer.h"
+
+namespace coverpack {
+
+class LoadTracker;
+
+namespace telemetry {
+
+/// Distribution of one round's per-server loads.
+struct RoundLoadStats {
+  uint32_t round = 0;
+  uint64_t max_load = 0;
+  double mean_load = 0.0;      ///< over all servers, idle ones included
+  uint64_t p50 = 0;            ///< nearest-rank percentiles over servers
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  double skew_ratio = 0.0;     ///< max / mean; 0 when the round is empty
+  uint64_t total = 0;          ///< communication volume of the round
+  uint32_t busy_servers = 0;   ///< servers with nonzero load
+};
+
+/// A full skew profile of one tracker (one simulated run).
+struct LoadSkewProfile {
+  std::string name;            ///< which run this profiles (experiment-chosen)
+  uint32_t num_servers = 0;
+  uint32_t num_rounds = 0;
+  uint64_t max_load = 0;       ///< the MPC load L
+  uint64_t total_communication = 0;
+  double overall_skew_ratio = 0.0;  ///< max cell / mean cell (all rounds x servers)
+  std::vector<RoundLoadStats> rounds;
+
+  JsonValue ToJson() const;
+};
+
+/// Nearest-rank percentile (q in [0, 100]) of a load vector. Exposed for
+/// testing; `loads` is taken by value because it is sorted internally.
+uint64_t LoadPercentile(std::vector<uint64_t> loads, double q);
+
+/// Profiles `tracker` into per-round and overall skew statistics. In audit
+/// builds the result is cross-checked against the tracker (percentile
+/// monotonicity p50 <= p90 <= p99 <= max, round totals summing to
+/// TotalCommunication).
+LoadSkewProfile ProfileLoadTracker(const LoadTracker& tracker, std::string name);
+
+}  // namespace telemetry
+}  // namespace coverpack
+
+#endif  // COVERPACK_TELEMETRY_LOAD_STATS_H_

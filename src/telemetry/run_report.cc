@@ -1,0 +1,48 @@
+#include "telemetry/run_report.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace coverpack {
+namespace telemetry {
+
+void RunReport::AddLoadProfile(LoadSkewProfile profile) {
+  max_load = std::max(max_load, profile.max_load);
+  rounds = std::max(rounds, profile.num_rounds);
+  load_profiles.push_back(std::move(profile));
+}
+
+JsonValue RunReport::ToJson() const {
+  JsonValue value = JsonValue::Object();
+  value.Set("schema_version", kSchemaVersion);
+  value.Set("id", id);
+  value.Set("display_id", display_id);
+  value.Set("claim", claim);
+  value.Set("verdict", verdict());
+  value.Set("ok", ok);
+  value.Set("wall_ms", wall_ms);
+  value.Set("max_load", max_load);
+  value.Set("rounds", rounds);
+  value.Set("params", params);
+  JsonValue exponent_array = JsonValue::Array();
+  for (const ExponentFit& fit : exponents) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("label", fit.label);
+    entry.Set("fitted", fit.fitted);
+    entry.Set("theory", fit.theory);
+    entry.Set("tolerance", fit.tolerance);
+    entry.Set("match", fit.match);
+    exponent_array.Append(std::move(entry));
+  }
+  value.Set("exponents", std::move(exponent_array));
+  JsonValue profile_array = JsonValue::Array();
+  for (const LoadSkewProfile& profile : load_profiles) {
+    profile_array.Append(profile.ToJson());
+  }
+  value.Set("load_profiles", std::move(profile_array));
+  value.Set("metrics", metrics.ToJson());
+  return value;
+}
+
+}  // namespace telemetry
+}  // namespace coverpack

@@ -1,0 +1,149 @@
+/// Serialization guarantees of the telemetry JSON writer: RFC 8259 string
+/// escaping, non-finite doubles rendered as null, insertion-ordered
+/// objects, exact integer round-trips, and nesting. BENCH_results.json is
+/// only as trustworthy as these corners.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/json_writer.h"
+
+namespace coverpack {
+namespace telemetry {
+namespace {
+
+std::string Escaped(const std::string& raw) {
+  std::string out;
+  AppendJsonEscaped(raw, &out);
+  return out;
+}
+
+TEST(JsonEscapeTest, PlainStringsPassThroughQuoted) {
+  EXPECT_EQ(Escaped("hello"), "\"hello\"");
+  EXPECT_EQ(Escaped(""), "\"\"");
+}
+
+TEST(JsonEscapeTest, QuotesAndBackslashes) {
+  EXPECT_EQ(Escaped("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(Escaped("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(Escaped("C:\\path\\\"x\""), "\"C:\\\\path\\\\\\\"x\\\"\"");
+}
+
+TEST(JsonEscapeTest, NamedControlCharacters) {
+  EXPECT_EQ(Escaped("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(Escaped("a\tb"), "\"a\\tb\"");
+  EXPECT_EQ(Escaped("a\rb"), "\"a\\rb\"");
+  EXPECT_EQ(Escaped("a\bb"), "\"a\\bb\"");
+  EXPECT_EQ(Escaped("a\fb"), "\"a\\fb\"");
+}
+
+TEST(JsonEscapeTest, OtherControlCharactersUseUnicodeEscapes) {
+  EXPECT_EQ(Escaped(std::string(1, '\x01')), "\"\\u0001\"");
+  EXPECT_EQ(Escaped(std::string(1, '\x1f')), "\"\\u001f\"");
+  EXPECT_EQ(Escaped(std::string(1, '\0')), "\"\\u0000\"");
+}
+
+TEST(JsonEscapeTest, HighBytesPassThroughUntouched) {
+  // UTF-8 multi-byte sequences are valid JSON string content as-is.
+  EXPECT_EQ(Escaped("\xc3\xa9"), "\"\xc3\xa9\"");
+}
+
+TEST(JsonWriterTest, ScalarsCompactForm) {
+  EXPECT_EQ(JsonValue::Null().ToString(0), "null");
+  EXPECT_EQ(JsonValue::Bool(true).ToString(0), "true");
+  EXPECT_EQ(JsonValue::Bool(false).ToString(0), "false");
+  EXPECT_EQ(JsonValue::Int(-42).ToString(0), "-42");
+  EXPECT_EQ(JsonValue::Str("x").ToString(0), "\"x\"");
+}
+
+TEST(JsonWriterTest, IntegersRoundTripExactly) {
+  // 2^63 - 1 and 2^64 - 1 are not representable as doubles; the writer
+  // must not route them through one.
+  EXPECT_EQ(JsonValue::Int(std::numeric_limits<int64_t>::max()).ToString(0),
+            "9223372036854775807");
+  EXPECT_EQ(JsonValue::Int(std::numeric_limits<int64_t>::min()).ToString(0),
+            "-9223372036854775808");
+  EXPECT_EQ(JsonValue::Uint(std::numeric_limits<uint64_t>::max()).ToString(0),
+            "18446744073709551615");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesRenderAsNull) {
+  EXPECT_EQ(JsonValue::Double(std::nan("")).ToString(0), "null");
+  EXPECT_EQ(JsonValue::Double(std::numeric_limits<double>::infinity()).ToString(0),
+            "null");
+  EXPECT_EQ(JsonValue::Double(-std::numeric_limits<double>::infinity()).ToString(0),
+            "null");
+}
+
+TEST(JsonWriterTest, FiniteDoublesStayNumeric) {
+  EXPECT_EQ(JsonValue::Double(0.5).ToString(0), "0.5");
+  // Integral-valued doubles keep a decimal point so readers parse them as
+  // floating point.
+  std::string one = JsonValue::Double(1.0).ToString(0);
+  EXPECT_NE(one.find('.'), std::string::npos) << one;
+  EXPECT_EQ(one.substr(0, 2), "1.");
+}
+
+TEST(JsonWriterTest, ObjectKeysKeepInsertionOrder) {
+  JsonValue object = JsonValue::Object();
+  object.Set("zulu", 1);
+  object.Set("alpha", 2);
+  object.Set("mike", 3);
+  EXPECT_EQ(object.ToString(0), "{\"zulu\":1,\"alpha\":2,\"mike\":3}");
+}
+
+TEST(JsonWriterTest, SetExistingKeyOverwritesInPlace) {
+  JsonValue object = JsonValue::Object();
+  object.Set("a", 1);
+  object.Set("b", 2);
+  object.Set("a", 9);
+  EXPECT_EQ(object.size(), 2u);
+  EXPECT_EQ(object.ToString(0), "{\"a\":9,\"b\":2}");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonValue inner = JsonValue::Object();
+  inner.Set("key with \"quotes\"", JsonValue::Null());
+  JsonValue array = JsonValue::Array();
+  array.Append(JsonValue::Int(1));
+  array.Append(std::move(inner));
+  array.Append(JsonValue::Array());
+  JsonValue root = JsonValue::Object();
+  root.Set("items", std::move(array));
+  EXPECT_EQ(root.ToString(0),
+            "{\"items\":[1,{\"key with \\\"quotes\\\"\":null},[]]}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  EXPECT_EQ(JsonValue::Array().ToString(0), "[]");
+  EXPECT_EQ(JsonValue::Object().ToString(0), "{}");
+  EXPECT_EQ(JsonValue::Array().ToString(2), "[]");
+  EXPECT_EQ(JsonValue::Object().ToString(2), "{}");
+}
+
+TEST(JsonWriterTest, PrettyPrintingIndentsNesting) {
+  JsonValue root = JsonValue::Object();
+  JsonValue array = JsonValue::Array();
+  array.Append(JsonValue::Int(1));
+  root.Set("a", std::move(array));
+  std::ostringstream out;
+  root.Write(out, 2);
+  EXPECT_EQ(out.str(), "{\n  \"a\": [\n    1\n  ]\n}");
+}
+
+TEST(JsonWriterTest, SizeCountsElements) {
+  JsonValue array = JsonValue::Array();
+  EXPECT_EQ(array.size(), 0u);
+  array.Append(JsonValue::Int(1));
+  array.Append(JsonValue::Int(2));
+  EXPECT_EQ(array.size(), 2u);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace coverpack

@@ -1,0 +1,175 @@
+/// Load-skew profiling coverage: the new LoadTracker read helpers, the
+/// nearest-rank percentile, and ProfileLoadTracker on hand-built trackers
+/// — including trackers assembled through Merge/MergeMapped the way the
+/// recursive simulator builds them, and empty/single-round edge cases.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mpc/load_tracker.h"
+#include "telemetry/load_stats.h"
+
+namespace coverpack {
+namespace telemetry {
+namespace {
+
+TEST(LoadTrackerStatsTest, RoundLoadsExposesZerosForIdleServers) {
+  LoadTracker tracker(4);
+  tracker.Add(0, 1, 10);
+  tracker.Add(0, 3, 2);
+  const std::vector<uint64_t>& loads = tracker.RoundLoads(0);
+  ASSERT_EQ(loads.size(), 4u);
+  EXPECT_EQ(loads[0], 0u);
+  EXPECT_EQ(loads[1], 10u);
+  EXPECT_EQ(loads[2], 0u);
+  EXPECT_EQ(loads[3], 2u);
+}
+
+TEST(LoadTrackerStatsTest, TotalAndMeanOfRound) {
+  LoadTracker tracker(4);
+  tracker.Add(0, 0, 6);
+  tracker.Add(0, 2, 2);
+  tracker.Add(1, 1, 8);
+  EXPECT_EQ(tracker.TotalOfRound(0), 8u);
+  EXPECT_EQ(tracker.TotalOfRound(1), 8u);
+  EXPECT_DOUBLE_EQ(tracker.MeanLoadOfRound(0), 2.0);
+  EXPECT_DOUBLE_EQ(tracker.MeanLoadOfRound(1), 2.0);
+  // Absent rounds read as zero rather than aborting.
+  EXPECT_EQ(tracker.TotalOfRound(7), 0u);
+  EXPECT_DOUBLE_EQ(tracker.MeanLoadOfRound(7), 0.0);
+}
+
+TEST(LoadPercentileTest, NearestRankDefinition) {
+  std::vector<uint64_t> loads{10, 0, 30, 20};  // sorted: 0 10 20 30
+  EXPECT_EQ(LoadPercentile(loads, 50), 10u);   // rank ceil(0.5*4) = 2
+  EXPECT_EQ(LoadPercentile(loads, 75), 20u);   // rank 3
+  EXPECT_EQ(LoadPercentile(loads, 90), 30u);   // rank ceil(3.6) = 4
+  EXPECT_EQ(LoadPercentile(loads, 100), 30u);
+  // q = 0 still reads the first order statistic (rank clamps to 1).
+  EXPECT_EQ(LoadPercentile(loads, 0), 0u);
+}
+
+TEST(LoadPercentileTest, SingleElement) {
+  EXPECT_EQ(LoadPercentile({42}, 50), 42u);
+  EXPECT_EQ(LoadPercentile({42}, 99), 42u);
+}
+
+TEST(ProfileLoadTrackerTest, EmptyTrackerYieldsEmptyProfile) {
+  LoadTracker tracker(8);
+  LoadSkewProfile profile = ProfileLoadTracker(tracker, "empty");
+  EXPECT_EQ(profile.name, "empty");
+  EXPECT_EQ(profile.num_servers, 8u);
+  EXPECT_EQ(profile.num_rounds, 0u);
+  EXPECT_EQ(profile.max_load, 0u);
+  EXPECT_EQ(profile.total_communication, 0u);
+  EXPECT_DOUBLE_EQ(profile.overall_skew_ratio, 0.0);
+  EXPECT_TRUE(profile.rounds.empty());
+}
+
+TEST(ProfileLoadTrackerTest, SingleRoundUniformLoadHasSkewOne) {
+  LoadTracker tracker(4);
+  for (uint32_t s = 0; s < 4; ++s) tracker.Add(0, s, 5);
+  LoadSkewProfile profile = ProfileLoadTracker(tracker, "uniform");
+  ASSERT_EQ(profile.rounds.size(), 1u);
+  const RoundLoadStats& round = profile.rounds[0];
+  EXPECT_EQ(round.round, 0u);
+  EXPECT_EQ(round.max_load, 5u);
+  EXPECT_DOUBLE_EQ(round.mean_load, 5.0);
+  EXPECT_DOUBLE_EQ(round.skew_ratio, 1.0);
+  EXPECT_EQ(round.p50, 5u);
+  EXPECT_EQ(round.p90, 5u);
+  EXPECT_EQ(round.p99, 5u);
+  EXPECT_EQ(round.total, 20u);
+  EXPECT_EQ(round.busy_servers, 4u);
+  EXPECT_DOUBLE_EQ(profile.overall_skew_ratio, 1.0);
+}
+
+TEST(ProfileLoadTrackerTest, SkewedRoundStatistics) {
+  // One hot server out of four: max 30, mean 10 => skew 3.
+  LoadTracker tracker(4);
+  tracker.Add(0, 0, 30);
+  tracker.Add(0, 1, 6);
+  tracker.Add(0, 2, 4);
+  LoadSkewProfile profile = ProfileLoadTracker(tracker, "skewed");
+  ASSERT_EQ(profile.rounds.size(), 1u);
+  const RoundLoadStats& round = profile.rounds[0];
+  EXPECT_EQ(round.max_load, 30u);
+  EXPECT_DOUBLE_EQ(round.mean_load, 10.0);
+  EXPECT_DOUBLE_EQ(round.skew_ratio, 3.0);
+  EXPECT_EQ(round.p50, 4u);   // sorted 0 4 6 30, rank 2
+  EXPECT_EQ(round.p90, 30u);  // rank 4
+  EXPECT_EQ(round.busy_servers, 3u);
+  EXPECT_EQ(profile.max_load, 30u);
+  EXPECT_EQ(profile.total_communication, 40u);
+}
+
+TEST(ProfileLoadTrackerTest, MultiRoundAggregates) {
+  LoadTracker tracker(2);
+  tracker.Add(0, 0, 10);  // round 0: total 10, max 10
+  tracker.Add(2, 1, 4);   // round 2: total 4; round 1 left empty
+  LoadSkewProfile profile = ProfileLoadTracker(tracker, "multi");
+  EXPECT_EQ(profile.num_rounds, 3u);
+  ASSERT_EQ(profile.rounds.size(), 3u);
+  EXPECT_EQ(profile.rounds[0].total, 10u);
+  EXPECT_EQ(profile.rounds[1].total, 0u);
+  EXPECT_DOUBLE_EQ(profile.rounds[1].skew_ratio, 0.0);
+  EXPECT_EQ(profile.rounds[1].busy_servers, 0u);
+  EXPECT_EQ(profile.rounds[2].total, 4u);
+  EXPECT_EQ(profile.max_load, 10u);
+  EXPECT_EQ(profile.total_communication, 14u);
+  // Overall skew: max cell 10 / mean cell (14 / 6 cells).
+  EXPECT_NEAR(profile.overall_skew_ratio, 10.0 / (14.0 / 6.0), 1e-12);
+}
+
+TEST(ProfileLoadTrackerTest, MergedTrackersProfileLikeDirectConstruction) {
+  // The simulator builds trackers recursively: leaf runs merge into the
+  // parent at a server offset. Profiling must see through that assembly.
+  LoadTracker parent(4);
+  parent.Add(0, 0, 8);
+  LoadTracker child(2);
+  child.Add(0, 0, 3);
+  child.Add(1, 1, 5);
+  parent.Merge(child, /*server_offset=*/2, /*round_offset=*/1);
+
+  LoadTracker direct(4);
+  direct.Add(0, 0, 8);
+  direct.Add(1, 2, 3);
+  direct.Add(2, 3, 5);
+
+  LoadSkewProfile merged_profile = ProfileLoadTracker(parent, "x");
+  LoadSkewProfile direct_profile = ProfileLoadTracker(direct, "x");
+  ASSERT_EQ(merged_profile.rounds.size(), direct_profile.rounds.size());
+  for (size_t i = 0; i < merged_profile.rounds.size(); ++i) {
+    EXPECT_EQ(merged_profile.rounds[i].max_load, direct_profile.rounds[i].max_load);
+    EXPECT_EQ(merged_profile.rounds[i].total, direct_profile.rounds[i].total);
+    EXPECT_EQ(merged_profile.rounds[i].p50, direct_profile.rounds[i].p50);
+  }
+  EXPECT_EQ(merged_profile.total_communication, direct_profile.total_communication);
+}
+
+TEST(ProfileLoadTrackerTest, MergeMappedReplicationShowsUpInTotals) {
+  // Case-II style replication: a 2-server child replicated across a 4-server
+  // grid (physical server s maps to child server s % 2). Every child cell
+  // is charged twice, so totals double while per-round max stays the
+  // child's max.
+  LoadTracker child(2);
+  child.Add(0, 0, 7);
+  child.Add(0, 1, 3);
+  LoadTracker grid(4);
+  grid.MergeMapped(child, /*round_offset=*/0,
+                   [](uint32_t physical) { return physical % 2; });
+
+  LoadSkewProfile profile = ProfileLoadTracker(grid, "replicated");
+  ASSERT_EQ(profile.rounds.size(), 1u);
+  EXPECT_EQ(profile.rounds[0].max_load, 7u);
+  EXPECT_EQ(profile.rounds[0].total, 20u);
+  EXPECT_EQ(profile.rounds[0].busy_servers, 4u);
+  EXPECT_DOUBLE_EQ(profile.rounds[0].mean_load, 5.0);
+  EXPECT_DOUBLE_EQ(profile.rounds[0].skew_ratio, 7.0 / 5.0);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace coverpack
