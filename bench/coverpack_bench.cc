@@ -9,20 +9,28 @@
 ///   coverpack_bench --fast          # only the CI fast subset
 ///   coverpack_bench --filter table1 # case-insensitive substring, repeatable
 ///   coverpack_bench --out path.json # default: BENCH_results.json in CWD
+///   coverpack_bench --threads=8     # pool size (default: hw concurrency)
+///   coverpack_bench --compare-serial  # also time --threads=1, stamp speedup
+///
+/// Results are bit-identical at any --threads value (shard-ordered merges +
+/// split Rng streams); only the wall-clock fields change.
 ///
 /// Exit status: 0 iff every selected experiment reproduces its claim
 /// (verdict SHAPE-REPRODUCED); 1 on any DEVIATION; 2 on usage errors or
 /// an empty selection.
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "experiments/experiments.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/run_report.h"
+#include "util/thread_pool.h"
 
 namespace coverpack {
 namespace bench {
@@ -33,16 +41,24 @@ struct DriverOptions {
   bool fast_only = false;
   std::vector<std::string> filters;
   std::string out_path = "BENCH_results.json";
+  unsigned threads = 0;  // 0 = hardware concurrency
+  bool compare_serial = false;
 };
 
 int Usage(std::ostream& os, int code) {
   os << "usage: coverpack_bench [--list] [--fast] [--filter SUBSTR]... [--out PATH]\n"
+        "                       [--threads=N] [--compare-serial]\n"
         "  --list          list experiment ids and exit\n"
         "  --fast          run only the fast subset (the CI default)\n"
         "  --filter SUBSTR keep experiments whose id or display id contains\n"
-        "                  SUBSTR (case-insensitive); repeatable, OR-ed\n"
+        "                  SUBSTR (case-insensitive); repeatable, OR-ed;\n"
+        "                  --filter=a,b,c takes a comma-separated list\n"
         "  --out PATH      where to write the JSON results\n"
-        "                  (default BENCH_results.json)\n";
+        "                  (default BENCH_results.json)\n"
+        "  --threads=N     thread-pool size; results are bit-identical at\n"
+        "                  any N (default: hardware concurrency)\n"
+        "  --compare-serial  run each experiment at --threads=1 first and\n"
+        "                  record wall_ms_serial + speedup in the report\n";
   return code;
 }
 
@@ -73,13 +89,33 @@ int RunDriver(const DriverOptions& options) {
     return 2;
   }
 
+  unsigned threads = options.threads != 0 ? options.threads : ThreadPool::GlobalThreads();
   std::vector<telemetry::RunReport> reports;
   reports.reserve(selected.size());
   for (const Experiment* experiment : selected) {
+    double wall_ms_serial = 0.0;
+    if (options.compare_serial && threads > 1) {
+      // Serial reference run: same experiment on a one-thread pool. The
+      // report it produces is discarded — determinism guarantees it is
+      // identical to the parallel one below, wall-clock aside.
+      ThreadPool::SetGlobalThreads(1);
+      auto serial_start = std::chrono::steady_clock::now();
+      telemetry::RunReport serial_report = experiment->run(*experiment);
+      auto serial_end = std::chrono::steady_clock::now();
+      wall_ms_serial =
+          std::chrono::duration<double, std::milli>(serial_end - serial_start).count();
+      std::cout << "\n";
+    }
+    ThreadPool::SetGlobalThreads(threads);
     auto start = std::chrono::steady_clock::now();
     telemetry::RunReport report = experiment->run(*experiment);
     auto end = std::chrono::steady_clock::now();
     report.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+    report.threads = threads;
+    report.wall_ms_serial = wall_ms_serial;
+    if (wall_ms_serial > 0.0 && report.wall_ms > 0.0) {
+      report.speedup = wall_ms_serial / report.wall_ms;
+    }
     reports.push_back(std::move(report));
     std::cout << "\n";
   }
@@ -88,14 +124,22 @@ int RunDriver(const DriverOptions& options) {
   telemetry::JsonValue doc = telemetry::JsonValue::Object();
   doc.Set("schema_version", telemetry::kSchemaVersion);
   doc.Set("suite", "coverpack");
+  doc.Set("threads", static_cast<uint64_t>(threads));
+  doc.Set("hardware_concurrency",
+          static_cast<uint64_t>(std::thread::hardware_concurrency()));
   doc.Set("count", static_cast<uint64_t>(reports.size()));
   telemetry::JsonValue results = telemetry::JsonValue::Array();
   uint32_t reproduced = 0;
-  std::cout << "==== coverpack_bench summary ====\n";
+  std::cout << "==== coverpack_bench summary (threads=" << threads << ") ====\n";
   for (const telemetry::RunReport& report : reports) {
     reproduced += report.ok ? 1 : 0;
     std::cout << (report.ok ? "  [ok]        " : "  [DEVIATION] ") << report.id << "  ("
-              << static_cast<int64_t>(report.wall_ms) << " ms)\n";
+              << static_cast<int64_t>(report.wall_ms) << " ms";
+    if (report.speedup > 0.0) {
+      std::cout << ", serial " << static_cast<int64_t>(report.wall_ms_serial) << " ms, "
+                << report.speedup << "x";
+    }
+    std::cout << ")\n";
     results.Append(report.ToJson());
   }
   doc.Set("results", std::move(results));
@@ -129,9 +173,30 @@ int main(int argc, char** argv) {
     } else if (arg == "--filter") {
       if (i + 1 >= argc) return coverpack::bench::Usage(std::cerr, 2);
       options.filters.push_back(argv[++i]);
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      // --filter=a,b,c — comma-separated OR-ed substrings.
+      std::string list = arg.substr(9);
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > start) options.filters.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+      }
     } else if (arg == "--out") {
       if (i + 1 >= argc) return coverpack::bench::Usage(std::cerr, 2);
       options.out_path = argv[++i];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      long value = std::strtol(arg.c_str() + 10, nullptr, 10);
+      if (value < 1) return coverpack::bench::Usage(std::cerr, 2);
+      options.threads = static_cast<unsigned>(value);
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) return coverpack::bench::Usage(std::cerr, 2);
+      long value = std::strtol(argv[++i], nullptr, 10);
+      if (value < 1) return coverpack::bench::Usage(std::cerr, 2);
+      options.threads = static_cast<unsigned>(value);
+    } else if (arg == "--compare-serial") {
+      options.compare_serial = true;
     } else if (arg == "--help" || arg == "-h") {
       return coverpack::bench::Usage(std::cout, 0);
     } else {

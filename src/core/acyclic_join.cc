@@ -14,6 +14,7 @@
 #include "relation/oracle.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/thread_pool.h"
 
 namespace coverpack {
 
@@ -32,30 +33,49 @@ struct SubRun {
 };
 
 /// The recursive engine. One instance per ComputeAcyclicJoin call.
+///
+/// Subqueries (heavy values, light groups, Cartesian components) run in
+/// parallel on the global pool. Every parallel child gets a private trace
+/// buffer and a private cluster; the parent splices/merges them in child
+/// index order, so traces, trackers, and results are byte-identical to the
+/// serial execution at any thread count.
 class Engine {
  public:
-  Engine(RunPolicy policy, bool collect, uint64_t load_threshold,
-         std::vector<TraceEvent>* trace)
-      : policy_(policy), collect_(collect), load_(load_threshold), trace_(trace) {
+  Engine(RunPolicy policy, bool collect, uint64_t load_threshold)
+      : policy_(policy), collect_(collect), load_(load_threshold) {
     CP_CHECK_GE(load_, 1u);
   }
 
-  SubRun Run(Hypergraph query, Instance instance, bool charge_input, int depth);
+  /// \param trace the sink this subtree's events go to (nullptr = tracing
+  /// off). Passed explicitly — not a member — so concurrent subtrees can
+  /// record into disjoint buffers.
+  SubRun Run(Hypergraph query, Instance instance, bool charge_input, int depth,
+             std::vector<TraceEvent>* trace);
 
  private:
   SubRun CaseOne(const Hypergraph& query, const Instance& instance, const JoinTree& tree,
-                 uint32_t stats_rounds, int depth);
+                 uint32_t stats_rounds, int depth, std::vector<TraceEvent>* trace);
   SubRun CaseTwo(const Hypergraph& query, const Instance& instance,
-                 const std::vector<EdgeSet>& components, uint32_t stats_rounds, int depth);
+                 const std::vector<EdgeSet>& components, uint32_t stats_rounds, int depth,
+                 std::vector<TraceEvent>* trace);
 
-  void Record(TraceEvent event) {
-    if (trace_ != nullptr) trace_->push_back(std::move(event));
+  static void Record(TraceEvent event, std::vector<TraceEvent>* trace) {
+    if (trace != nullptr) trace->push_back(std::move(event));
   }
 
   RunPolicy policy_;
   bool collect_;
   uint64_t load_;
-  std::vector<TraceEvent>* trace_;
+};
+
+/// One parallel subquery's outcome: filled in by a pool task, consumed by
+/// the parent in child index order.
+struct ChildSlot {
+  bool viable = false;
+  SubRun child;
+  Relation result;  // collect-mode contribution (already re-joined/attached)
+  bool has_result = false;
+  std::vector<TraceEvent> trace;
 };
 
 /// Applies the reduce step: full semi-join reduction plus removal of
@@ -144,7 +164,8 @@ uint64_t TheoreticalServerDemand(const Hypergraph& query, const Instance& instan
 
 namespace {
 
-SubRun Engine::Run(Hypergraph query, Instance instance, bool charge_input, int depth) {
+SubRun Engine::Run(Hypergraph query, Instance instance, bool charge_input, int depth,
+                   std::vector<TraceEvent>* trace) {
   CP_CHECK_LT(depth, 128) << "recursion failed to terminate";
   instance.CheckAgainst(query);
 
@@ -178,7 +199,7 @@ SubRun Engine::Run(Hypergraph query, Instance instance, bool charge_input, int d
     event.kind = TraceEvent::kBaseCase;
     event.query = query.ToString();
     event.input_tuples = instance.TotalSize();
-    Record(std::move(event));
+    Record(std::move(event), trace);
     uint64_t servers = std::max<uint64_t>(1, CeilDiv(instance[0].size(), load_));
     SubRun run;
     run.cluster = std::make_unique<Cluster>(static_cast<uint32_t>(servers));
@@ -197,8 +218,8 @@ SubRun Engine::Run(Hypergraph query, Instance instance, bool charge_input, int d
     event.query = query.ToString();
     event.components = static_cast<uint32_t>(components.size());
     event.input_tuples = instance.TotalSize();
-    Record(std::move(event));
-    SubRun run = CaseTwo(query, instance, components, stats_rounds, depth);
+    Record(std::move(event), trace);
+    SubRun run = CaseTwo(query, instance, components, stats_rounds, depth, trace);
     if (charge_input) ChargeInputScatter(run.cluster.get(), instance, 0);
     mpc::ChargeLinear(run.cluster.get(), instance.TotalSize(), charge_input ? 1 : 0);
     return run;
@@ -206,13 +227,13 @@ SubRun Engine::Run(Hypergraph query, Instance instance, bool charge_input, int d
 
   // Case I. The cluster is created inside (its size depends on the
   // children); stats charges are applied there.
-  SubRun run = CaseOne(query, instance, *tree, stats_rounds, depth);
+  SubRun run = CaseOne(query, instance, *tree, stats_rounds, depth, trace);
   if (charge_input) ChargeInputScatter(run.cluster.get(), instance, 0);
   return run;
 }
 
 SubRun Engine::CaseOne(const Hypergraph& query, const Instance& instance, const JoinTree& tree,
-                       uint32_t stats_rounds, int depth) {
+                       uint32_t stats_rounds, int depth, std::vector<TraceEvent>* trace) {
   // ---- Choose the leaf e1, its parent e0, the attribute x, and S^x. ----
   uint32_t e1 = JoinTree::kNoParent;
   for (uint32_t node = 0; node < tree.num_nodes(); ++node) {
@@ -307,45 +328,53 @@ SubRun Engine::CaseOne(const Hypergraph& query, const Instance& instance, const 
     event.heavy_values = static_cast<uint32_t>(heavy.size());
     event.light_groups = num_groups;
     event.input_tuples = instance.TotalSize();
-    Record(std::move(event));
+    Record(std::move(event), trace);
   }
 
   // ---- Step 2 + 3: build and run the subqueries. ----
-  std::vector<SubRun> children;
-  std::vector<Relation> child_results;
+  // Every heavy value and every light group is an independent subquery:
+  // they run as pool tasks filling per-index slots, and the slots are
+  // harvested in index order below so children/results/traces keep the
+  // serial order. Recursive Runs inside the tasks may themselves fan out
+  // (nested ParallelFor) — the pool is re-entrant.
+  ThreadPool& pool = ThreadPool::Global();
+  std::vector<TraceEvent>* const parent_trace = trace;
 
   // Heavy assignments -> residual query Q_x.
   Hypergraph query_x = query.Residual(AttrSet::Single(x));
-  for (Value a : heavy) {
+  std::vector<ChildSlot> heavy_slots(heavy.size());
+  pool.ParallelFor(0, heavy.size(), 1, [&](size_t hi) {
+    Value a = heavy[hi];
+    ChildSlot& slot = heavy_slots[hi];
     Instance instance_a(query_x);
-    bool viable = true;
     for (uint32_t e = 0; e < query_x.num_edges(); ++e) {
       EdgeId original = *query_x.SameNamedEdgeIn(query, e);
       const Relation& source = instance[original];
       if (source.attrs().Contains(x)) {
         Relation selected = Select(source, x, a);
-        if (selected.empty()) {
-          viable = false;
-          break;
-        }
+        if (selected.empty()) return;  // not viable
         instance_a[e] = DropColumn(selected, x);
       } else {
         instance_a[e] = source;
       }
     }
-    if (!viable) continue;
-    SubRun child = Run(query_x, std::move(instance_a), /*charge_input=*/true, depth + 1);
-    if (collect_ && !child.results.empty()) {
-      child_results.push_back(AttachConstant(child.results, x, a));
+    slot.child = Run(query_x, std::move(instance_a), /*charge_input=*/true, depth + 1,
+                     parent_trace != nullptr ? &slot.trace : nullptr);
+    slot.viable = true;
+    if (collect_ && !slot.child.results.empty()) {
+      slot.result = AttachConstant(slot.child.results, x, a);
+      slot.has_result = true;
     }
-    children.push_back(std::move(child));
-  }
+  });
 
   // Light groups -> residual query Q_y = E - S^x plus a broadcast of the
   // group's S^x tuples.
   EdgeSet rest = query.AllEdges().Minus(sx);
   Hypergraph query_y = query.InducedByEdges(rest);
-  for (uint32_t g = 0; g < num_groups; ++g) {
+  std::vector<ChildSlot> light_slots(num_groups);
+  pool.ParallelFor(0, num_groups, 1, [&](size_t gi) {
+    uint32_t g = static_cast<uint32_t>(gi);
+    ChildSlot& slot = light_slots[gi];
     std::vector<Value> group_values;
     for (size_t i = 0; i < light.size(); ++i) {
       if (bin_of[i] == g) group_values.push_back(light[i]);
@@ -354,32 +383,29 @@ SubRun Engine::CaseOne(const Hypergraph& query, const Instance& instance, const 
 
     std::vector<Relation> broadcast;
     uint64_t broadcast_size = 0;
-    bool viable = true;
     for (EdgeId e : sx.ToVector()) {
       Relation part = SelectIn(instance[e], x, group_values);
-      if (part.empty()) {
-        viable = false;
-        break;
-      }
+      if (part.empty()) return;  // not viable
       broadcast_size += part.size();
       broadcast.push_back(std::move(part));
     }
-    if (!viable) continue;
 
     if (rest.empty()) {
       // Nothing left to recurse on: a single server joins the broadcast.
-      SubRun child;
-      child.cluster = std::make_unique<Cluster>(1);
-      mpc::ChargeBroadcast(child.cluster.get(), broadcast_size, 0);
-      child.rounds = 1;
+      slot.child.cluster = std::make_unique<Cluster>(1);
+      mpc::ChargeBroadcast(slot.child.cluster.get(), broadcast_size, 0);
+      slot.child.rounds = 1;
+      slot.viable = true;
       if (collect_) {
         std::vector<const Relation*> parts;
         for (const Relation& b : broadcast) parts.push_back(&b);
         Relation joined = MultiwayJoin(parts);
-        if (!joined.empty()) child_results.push_back(std::move(joined));
+        if (!joined.empty()) {
+          slot.result = std::move(joined);
+          slot.has_result = true;
+        }
       }
-      children.push_back(std::move(child));
-      continue;
+      return;
     }
 
     Instance instance_g(query_y);
@@ -392,17 +418,38 @@ SubRun Engine::CaseOne(const Hypergraph& query, const Instance& instance, const 
         instance_g[e] = source;
       }
     }
-    SubRun child = Run(query_y, std::move(instance_g), /*charge_input=*/true, depth + 1);
+    slot.child = Run(query_y, std::move(instance_g), /*charge_input=*/true, depth + 1,
+                     parent_trace != nullptr ? &slot.trace : nullptr);
     // The group's S^x tuples are broadcast to every server of the group.
-    mpc::ChargeBroadcast(child.cluster.get(), broadcast_size, 0);
-    if (collect_ && !child.results.empty()) {
-      std::vector<const Relation*> parts{&child.results};
+    mpc::ChargeBroadcast(slot.child.cluster.get(), broadcast_size, 0);
+    slot.viable = true;
+    if (collect_ && !slot.child.results.empty()) {
+      std::vector<const Relation*> parts{&slot.child.results};
       for (const Relation& b : broadcast) parts.push_back(&b);
       Relation joined = MultiwayJoin(parts);
-      if (!joined.empty()) child_results.push_back(std::move(joined));
+      if (!joined.empty()) {
+        slot.result = std::move(joined);
+        slot.has_result = true;
+      }
     }
-    children.push_back(std::move(child));
-  }
+  });
+
+  // Harvest in index order (heavy values first, then light groups), which
+  // is exactly the serial iteration order.
+  std::vector<SubRun> children;
+  std::vector<Relation> child_results;
+  auto harvest = [&](std::vector<ChildSlot>& slots) {
+    for (ChildSlot& slot : slots) {
+      if (!slot.viable) continue;
+      if (parent_trace != nullptr) {
+        for (TraceEvent& event : slot.trace) parent_trace->push_back(std::move(event));
+      }
+      if (slot.has_result) child_results.push_back(std::move(slot.result));
+      children.push_back(std::move(slot.child));
+    }
+  };
+  harvest(heavy_slots);
+  harvest(light_slots);
 
   // ---- Assemble the parent cluster. ----
   uint64_t total_servers = 0;
@@ -438,18 +485,26 @@ SubRun Engine::CaseOne(const Hypergraph& query, const Instance& instance, const 
 
 SubRun Engine::CaseTwo(const Hypergraph& query, const Instance& instance,
                        const std::vector<EdgeSet>& components, uint32_t stats_rounds,
-                       int depth) {
-  // Run every component once; replicate its loads across the grid.
-  std::vector<SubRun> children;
-  for (EdgeSet component : components) {
+                       int depth, std::vector<TraceEvent>* trace) {
+  // Run every component once (in parallel — components are independent);
+  // replicate its loads across the grid. Traces splice in component order.
+  std::vector<SubRun> children(components.size());
+  std::vector<std::vector<TraceEvent>> child_traces(components.size());
+  ThreadPool::Global().ParallelFor(0, components.size(), 1, [&](size_t c) {
+    EdgeSet component = components[c];
     Hypergraph sub_query = query.InducedByEdges(component);
     Instance sub_instance(sub_query);
     std::vector<EdgeId> members = component.ToVector();
     for (size_t i = 0; i < members.size(); ++i) {
       sub_instance[static_cast<EdgeId>(i)] = instance[members[i]];
     }
-    children.push_back(Run(sub_query, std::move(sub_instance), /*charge_input=*/true,
-                           depth + 1));
+    children[c] = Run(sub_query, std::move(sub_instance), /*charge_input=*/true, depth + 1,
+                      trace != nullptr ? &child_traces[c] : nullptr);
+  });
+  if (trace != nullptr) {
+    for (std::vector<TraceEvent>& child_trace : child_traces) {
+      for (TraceEvent& event : child_trace) trace->push_back(std::move(event));
+    }
   }
 
   uint64_t grid = 1;
@@ -499,9 +554,9 @@ AcyclicRunResult ComputeAcyclicJoin(const Hypergraph& query, const Instance& ins
   }
 
   AcyclicRunResult result;
-  Engine engine(options.policy, options.collect, load,
-                options.trace ? &result.trace : nullptr);
-  SubRun run = engine.Run(query, instance, /*charge_input=*/false, 0);
+  Engine engine(options.policy, options.collect, load);
+  SubRun run = engine.Run(query, instance, /*charge_input=*/false, 0,
+                          options.trace ? &result.trace : nullptr);
 
   result.max_load = run.cluster->tracker().MaxLoad();
   result.rounds = run.rounds;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "mpc/cluster.h"
 #include "mpc/hypercube.h"
@@ -9,6 +10,7 @@
 #include "relation/oracle.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/thread_pool.h"
 
 namespace coverpack {
 
@@ -105,9 +107,6 @@ OneRoundResult ComputeOneRoundSkewAware(const Hypergraph& query, const Instance&
   result.results = Relation(query.AllAttrs());
   result.servers_used = 0;
 
-  std::vector<WorkItem> worklist;
-  worklist.push_back(WorkItem{query, instance, std::max<uint32_t>(1, p), {}, 0});
-
   // Every leaf work item becomes one hypercube; all fire at round 0 on
   // disjoint server ranges, so the whole computation is one round.
   uint64_t max_load = 0;
@@ -117,109 +116,146 @@ OneRoundResult ComputeOneRoundSkewAware(const Hypergraph& query, const Instance&
   // (disjoint-group) cluster.
   std::vector<LoadTracker> leaf_trackers;
 
-  while (!worklist.empty()) {
-    WorkItem item = std::move(worklist.back());
-    worklist.pop_back();
+  /// What processing one work item produced: either a leaf hypercube or a
+  /// list of split-off items for the next frontier. Filled by pool tasks,
+  /// harvested in frontier index order — the frontier sequence depends only
+  /// on the input, never on the thread count.
+  struct Outcome {
+    bool is_leaf = false;
+    uint64_t leaf_max_load = 0;
+    uint64_t leaf_servers = 0;
+    std::optional<LoadTracker> tracker;
+    Relation local;  // collect-mode leaf output, bindings re-attached
+    std::vector<WorkItem> spawned;
+  };
 
-    // Empty relation -> nothing to do for this piece.
-    bool empty = false;
-    for (uint32_t e = 0; e < item.query.num_edges(); ++e) {
-      if (item.instance[e].empty()) empty = true;
-    }
-    if (empty) continue;
+  std::vector<WorkItem> frontier;
+  frontier.push_back(WorkItem{query, instance, std::max<uint32_t>(1, p), {}, 0});
 
-    mpc::ShareVector shares =
-        mpc::OptimizeSharesForSizes(item.query, SizesOf(item.instance), item.budget);
-    AttrId skew_attr = 0;
-    double ratio = 0.0;
-    bool skewed = item.depth < 32 && item.budget > 1 &&
-                  FindWorstSkew(item.query, item.instance, shares, options.skew_factor,
-                                &skew_attr, &ratio);
+  while (!frontier.empty()) {
+    std::vector<Outcome> outcomes(frontier.size());
+    ThreadPool::Global().ParallelFor(0, frontier.size(), 1, [&](size_t w) {
+      const WorkItem& item = frontier[w];
+      Outcome& out = outcomes[w];
 
-    if (!skewed) {
-      Cluster cluster(std::max<uint32_t>(1, item.budget));
-      mpc::HypercubeResult hc = mpc::HypercubeJoin(&cluster, item.query, item.instance, shares,
-                                                   0, options.collect);
-      max_load = std::max(max_load, hc.max_receive_load);
-      servers += shares.grid_size;
-      leaf_trackers.push_back(cluster.tracker());
-      if (options.collect) {
-        Relation local = hc.results.Gather();
-        for (const auto& [attr, value] : item.bindings) {
-          local = AttachConstant(local, attr, value);
-        }
-        // The bindings restore every attribute removed along the residual
-        // chain, so the schema is back to the full query's.
-        if (local.attrs() == result.results.attrs()) {
-          for (size_t i = 0; i < local.size(); ++i) result.results.AppendRow(local.row(i));
-          result.output_count += local.size();
-        } else if (!local.empty()) {
-          CP_CHECK(false) << "one-round result schema mismatch";
-        }
+      // Empty relation -> nothing to do for this piece.
+      for (uint32_t e = 0; e < item.query.num_edges(); ++e) {
+        if (item.instance[e].empty()) return;
       }
-      continue;
-    }
 
-    // Split dom(skew_attr) into heavy values (residual query each) and the
-    // light remainder (same query, heavy values removed).
-    std::vector<Value> heavy =
-        HeavyValues(item.query, item.instance, shares, skew_attr, options.skew_factor);
-    CP_CHECK(!heavy.empty());
+      mpc::ShareVector shares =
+          mpc::OptimizeSharesForSizes(item.query, SizesOf(item.instance), item.budget);
+      AttrId skew_attr = 0;
+      double ratio = 0.0;
+      bool skewed = item.depth < 32 && item.budget > 1 &&
+                    FindWorstSkew(item.query, item.instance, shares, options.skew_factor,
+                                  &skew_attr, &ratio);
 
-    uint32_t half = std::max<uint32_t>(1, item.budget / 2);
-    // Light remainder keeps half the budget.
-    WorkItem light{item.query, Instance(item.query), half, item.bindings, item.depth + 1};
-    for (uint32_t e = 0; e < item.query.num_edges(); ++e) {
-      const Relation& source = item.instance[e];
-      if (source.attrs().Contains(skew_attr)) {
-        // Remove heavy values.
-        Relation kept(source.attrs());
-        uint32_t col = source.ColumnOf(skew_attr);
-        for (size_t i = 0; i < source.size(); ++i) {
-          auto row = source.row(i);
-          if (!std::binary_search(heavy.begin(), heavy.end(), row[col])) {
-            kept.AppendRow(row);
+      if (!skewed) {
+        Cluster cluster(std::max<uint32_t>(1, item.budget));
+        mpc::HypercubeResult hc = mpc::HypercubeJoin(&cluster, item.query, item.instance,
+                                                     shares, 0, options.collect);
+        out.is_leaf = true;
+        out.leaf_max_load = hc.max_receive_load;
+        out.leaf_servers = shares.grid_size;
+        out.tracker = cluster.tracker();
+        if (options.collect) {
+          Relation local = hc.results.Gather();
+          for (const auto& [attr, value] : item.bindings) {
+            local = AttachConstant(local, attr, value);
           }
+          out.local = std::move(local);
         }
-        light.instance[e] = std::move(kept);
-      } else {
-        light.instance[e] = source;
+        return;
       }
-    }
-    worklist.push_back(std::move(light));
 
-    // Heavy values share the other half of the budget evenly.
-    uint32_t per_value =
-        std::max<uint32_t>(1, half / static_cast<uint32_t>(std::max<size_t>(1, heavy.size())));
-    Hypergraph residual = item.query.Residual(AttrSet::Single(skew_attr));
-    for (Value a : heavy) {
-      WorkItem heavy_item{residual, Instance(residual), per_value, item.bindings,
-                          item.depth + 1};
-      bool viable = true;
-      for (uint32_t e = 0; e < residual.num_edges(); ++e) {
-        EdgeId original = *residual.SameNamedEdgeIn(item.query, e);
-        const Relation& source = item.instance[original];
+      // Split dom(skew_attr) into heavy values (residual query each) and the
+      // light remainder (same query, heavy values removed).
+      std::vector<Value> heavy =
+          HeavyValues(item.query, item.instance, shares, skew_attr, options.skew_factor);
+      CP_CHECK(!heavy.empty());
+
+      uint32_t half = std::max<uint32_t>(1, item.budget / 2);
+      // Light remainder keeps half the budget.
+      WorkItem light{item.query, Instance(item.query), half, item.bindings, item.depth + 1};
+      for (uint32_t e = 0; e < item.query.num_edges(); ++e) {
+        const Relation& source = item.instance[e];
         if (source.attrs().Contains(skew_attr)) {
-          Relation selected = Select(source, skew_attr, a);
-          if (selected.empty()) {
-            viable = false;
-            break;
+          // Remove heavy values.
+          Relation kept(source.attrs());
+          uint32_t col = source.ColumnOf(skew_attr);
+          for (size_t i = 0; i < source.size(); ++i) {
+            auto row = source.row(i);
+            if (!std::binary_search(heavy.begin(), heavy.end(), row[col])) {
+              kept.AppendRow(row);
+            }
           }
-          heavy_item.instance[e] = DropColumn(selected, skew_attr);
+          light.instance[e] = std::move(kept);
         } else {
-          heavy_item.instance[e] = source;
+          light.instance[e] = source;
         }
       }
-      // Relations that consisted only of skew_attr must still be checked.
-      for (uint32_t e = 0; viable && e < item.query.num_edges(); ++e) {
-        if (item.query.edge(e).attrs == AttrSet::Single(skew_attr)) {
-          if (Select(item.instance[e], skew_attr, a).empty()) viable = false;
+      out.spawned.push_back(std::move(light));
+
+      // Heavy values share the other half of the budget evenly.
+      uint32_t per_value = std::max<uint32_t>(
+          1, half / static_cast<uint32_t>(std::max<size_t>(1, heavy.size())));
+      Hypergraph residual = item.query.Residual(AttrSet::Single(skew_attr));
+      for (Value a : heavy) {
+        WorkItem heavy_item{residual, Instance(residual), per_value, item.bindings,
+                            item.depth + 1};
+        bool viable = true;
+        for (uint32_t e = 0; e < residual.num_edges(); ++e) {
+          EdgeId original = *residual.SameNamedEdgeIn(item.query, e);
+          const Relation& source = item.instance[original];
+          if (source.attrs().Contains(skew_attr)) {
+            Relation selected = Select(source, skew_attr, a);
+            if (selected.empty()) {
+              viable = false;
+              break;
+            }
+            heavy_item.instance[e] = DropColumn(selected, skew_attr);
+          } else {
+            heavy_item.instance[e] = source;
+          }
         }
+        // Relations that consisted only of skew_attr must still be checked.
+        for (uint32_t e = 0; viable && e < item.query.num_edges(); ++e) {
+          if (item.query.edge(e).attrs == AttrSet::Single(skew_attr)) {
+            if (Select(item.instance[e], skew_attr, a).empty()) viable = false;
+          }
+        }
+        if (!viable) continue;
+        heavy_item.bindings.emplace_back(skew_attr, a);
+        out.spawned.push_back(std::move(heavy_item));
       }
-      if (!viable) continue;
-      heavy_item.bindings.emplace_back(skew_attr, a);
-      worklist.push_back(std::move(heavy_item));
+    });
+
+    // Harvest in frontier order: leaves accumulate, split items form the
+    // next frontier in the order they were spawned.
+    std::vector<WorkItem> next_frontier;
+    for (Outcome& out : outcomes) {
+      if (out.is_leaf) {
+        max_load = std::max(max_load, out.leaf_max_load);
+        servers += out.leaf_servers;
+        leaf_trackers.push_back(std::move(*out.tracker));
+        if (options.collect) {
+          // The bindings restore every attribute removed along the residual
+          // chain, so the schema is back to the full query's.
+          if (out.local.attrs() == result.results.attrs()) {
+            for (size_t i = 0; i < out.local.size(); ++i) {
+              result.results.AppendRow(out.local.row(i));
+            }
+            result.output_count += out.local.size();
+          } else if (!out.local.empty()) {
+            CP_CHECK(false) << "one-round result schema mismatch";
+          }
+        }
+      } else {
+        for (WorkItem& item : out.spawned) next_frontier.push_back(std::move(item));
+      }
     }
+    frontier = std::move(next_frontier);
   }
 
   result.max_load = max_load;

@@ -12,6 +12,7 @@
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/thread_pool.h"
 
 namespace coverpack {
 
@@ -135,29 +136,43 @@ OutputBalancedResult ComputeOutputBalanced(const Hypergraph& query, const Instan
   }
 
   std::vector<uint32_t> top_down(order.rbegin(), order.rend());
-  for (uint32_t k = 0; k < p; ++k) {
+  // Each server's slice is independent. Pool tasks fill per-server receive
+  // lists and local join results; the tracker charges and result appends
+  // happen serially in server order afterwards (LoadTracker::Add resizes and
+  // must not run concurrently), keeping everything thread-count-invariant.
+  struct ServerOutcome {
+    std::vector<uint64_t> receives;  // in charge order: root slice, then tree edges
+    Relation local;
+  };
+  std::vector<ServerOutcome> per_server_out(p);
+  ThreadPool::Global().ParallelFor(0, p, 1, [&](size_t k) {
     size_t begin = slice_begin[k];
     size_t end = slice_begin[k + 1];
-    if (begin >= end) continue;
+    if (begin >= end) return;
+    ServerOutcome& out = per_server_out[k];
     // Root slice.
     Instance needed(query);
     Relation root_slice(reduced[root].attrs());
     for (size_t i = begin; i < end; ++i) root_slice.AppendRow(reduced[root].row(i));
-    cluster.tracker().Add(round, k, root_slice.size());
+    out.receives.push_back(root_slice.size());
     needed[root] = std::move(root_slice);
     // Downward: each child restricted to tuples joining the parent slice.
     for (uint32_t node : top_down) {
       for (uint32_t child : tree->children(node)) {
         needed[child] = SemiJoin(reduced[child], needed[node]);
-        cluster.tracker().Add(round, k, needed[child].size());
+        out.receives.push_back(needed[child].size());
       }
     }
-    if (options.collect) {
-      Relation local = GenericJoin(query, needed);
+    if (options.collect) out.local = GenericJoin(query, needed);
+  });
+  for (uint32_t k = 0; k < p; ++k) {
+    ServerOutcome& out = per_server_out[k];
+    for (uint64_t amount : out.receives) cluster.tracker().Add(round, k, amount);
+    if (options.collect && !out.receives.empty()) {
       if (result.results.attrs() != query.AllAttrs()) {
         result.results = Relation(query.AllAttrs());
       }
-      for (size_t i = 0; i < local.size(); ++i) result.results.AppendRow(local.row(i));
+      for (size_t i = 0; i < out.local.size(); ++i) result.results.AppendRow(out.local.row(i));
     }
   }
   round += 1;

@@ -1,5 +1,6 @@
 #include "lowerbound/hard_instance.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "lp/covers.h"
@@ -7,6 +8,7 @@
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 #include "workload/generators.h"
 
 namespace coverpack {
@@ -14,14 +16,16 @@ namespace lowerbound {
 
 namespace {
 
-/// Samples each of `total` combinations independently with probability
-/// `prob`, visiting only the successes via geometric gap skipping.
-/// `emit(index)` is called for every sampled combination index.
+/// Samples each of the `total - begin` combinations in [begin, total)
+/// independently with probability `prob`, visiting only the successes via
+/// geometric gap skipping. `emit(index)` is called for every sampled
+/// combination index, in ascending order.
 template <typename Emit>
-void BernoulliProcess(uint64_t total, double prob, Rng* rng, Emit emit) {
-  if (prob <= 0.0 || total == 0) return;
+void BernoulliRange(uint64_t begin, uint64_t end, double prob, Rng* rng, Emit emit) {
+  uint64_t range = end - begin;
+  if (prob <= 0.0 || range == 0) return;
   if (prob >= 1.0) {
-    for (uint64_t i = 0; i < total; ++i) emit(i);
+    for (uint64_t i = begin; i < end; ++i) emit(i);
     return;
   }
   double log_one_minus_p = std::log1p(-prob);
@@ -30,11 +34,46 @@ void BernoulliProcess(uint64_t total, double prob, Rng* rng, Emit emit) {
     double u = rng->NextDouble();
     if (u <= 0.0) u = 1e-18;
     uint64_t gap = static_cast<uint64_t>(std::floor(std::log(u) / log_one_minus_p));
-    if (gap > total || index > total - 1 - gap) break;
+    if (gap > range || index > range - 1 - gap) break;
     index += gap;
-    emit(index);
-    if (index == total - 1) break;
+    emit(begin + index);
+    if (index == range - 1) break;
     ++index;
+  }
+}
+
+/// Combination indices each Bernoulli shard spans. Depends only on `total`
+/// (the shard count is capped so huge sparse grids don't allocate millions
+/// of shard buffers) — never on the thread count.
+uint64_t BernoulliShardSpan(uint64_t total) {
+  uint64_t span = uint64_t{1} << 16;
+  while ((total + span - 1) / span > 4096) span *= 2;
+  return span;
+}
+
+/// Parallel Bernoulli process over [0, total): fixed-span shards sample
+/// their subranges with private Rng streams split off `seed` by shard
+/// index, and the successes are emitted in ascending index order. The
+/// sampled set depends only on (total, prob, seed).
+template <typename Emit>
+void ShardedBernoulliProcess(uint64_t total, double prob, uint64_t seed, Emit emit) {
+  if (prob <= 0.0 || total == 0) return;
+  if (prob >= 1.0) {
+    for (uint64_t i = 0; i < total; ++i) emit(i);
+    return;
+  }
+  uint64_t span = BernoulliShardSpan(total);
+  size_t num_shards = static_cast<size_t>((total + span - 1) / span);
+  std::vector<std::vector<uint64_t>> shard_hits(num_shards);
+  ThreadPool::Global().ParallelFor(0, num_shards, 1, [&](size_t shard) {
+    uint64_t begin = static_cast<uint64_t>(shard) * span;
+    uint64_t end = std::min(total, begin + span);
+    Rng rng(SplitSeed(seed, shard));
+    BernoulliRange(begin, end, prob, &rng,
+                   [&](uint64_t index) { shard_hits[shard].push_back(index); });
+  });
+  for (const std::vector<uint64_t>& hits : shard_hits) {
+    for (uint64_t index : hits) emit(index);
   }
 }
 
@@ -106,7 +145,6 @@ HardInstance BoxJoinHardInstance(const Hypergraph& query, uint64_t n, uint64_t s
   }
 
   hard.instance = Instance(query);
-  Rng rng(seed);
   for (uint32_t e = 0; e < query.num_edges(); ++e) {
     const Edge& edge = query.edge(e);
     std::vector<uint64_t> dims;
@@ -116,11 +154,13 @@ HardInstance BoxJoinHardInstance(const Hypergraph& query, uint64_t n, uint64_t s
       total *= hard.domain_sizes[v];
     }
     if (edge.name == "R2") {
-      // Probabilistic: each (d, e, f) with probability 1/N.
+      // Probabilistic: each (d, e, f) with probability 1/N. The stream is
+      // split per edge so relations stay independent and replayable.
       double prob = 1.0 / static_cast<double>(effective_n);
       Relation* relation = &hard.instance[e];
-      BernoulliProcess(total, prob, &rng,
-                       [&](uint64_t index) { AppendCombination(relation, index, dims); });
+      ShardedBernoulliProcess(
+          total, prob, SplitSeed(seed, e),
+          [&](uint64_t index) { AppendCombination(relation, index, dims); });
     } else {
       CP_CHECK_EQ(total, effective_n) << "deterministic relation size drifted";
       hard.instance[e] = workload::Cartesian(edge.attrs, dims);
@@ -147,7 +187,6 @@ HardInstance DegreeTwoHardInstance(const Hypergraph& query, const PackingProvabi
   for (EdgeId e : witness.probabilistic) probabilistic.Insert(e);
 
   hard.instance = Instance(query);
-  Rng rng(seed);
   for (uint32_t e = 0; e < query.num_edges(); ++e) {
     const Edge& edge = query.edge(e);
     std::vector<uint64_t> dims;
@@ -160,10 +199,12 @@ HardInstance DegreeTwoHardInstance(const Hypergraph& query, const PackingProvabi
     }
     if (probabilistic.Contains(e)) {
       // Each combination with probability N / prod dom = N^{1 - sum x_v}.
+      // Per-edge split seed keeps the relations independent and replayable.
       double prob = static_cast<double>(static_cast<long double>(n) / total);
       Relation* relation = &hard.instance[e];
-      BernoulliProcess(total_int, prob, &rng,
-                       [&](uint64_t index) { AppendCombination(relation, index, dims); });
+      ShardedBernoulliProcess(
+          total_int, prob, SplitSeed(seed, e),
+          [&](uint64_t index) { AppendCombination(relation, index, dims); });
     } else {
       // Deterministic: a Cartesian product of ~N tuples (sum x_v = 1 up to
       // the integer rounding of the domain sizes).

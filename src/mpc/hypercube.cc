@@ -9,11 +9,17 @@
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/thread_pool.h"
 
 namespace coverpack {
 namespace mpc {
 
 namespace {
+
+/// Rows per routing shard. Fixed (never derived from the thread count) so
+/// the shard decomposition — and therefore every merge order — is identical
+/// at any parallelism level.
+constexpr size_t kRouteGrain = 2048;
 
 /// Per-attribute salted hash for grid coordinates.
 uint32_t CoordinateHash(AttrId attr, Value value, uint32_t extent) {
@@ -218,7 +224,11 @@ HypercubeResult HypercubeJoin(Cluster* cluster, const Hypergraph& query,
       bound.push_back(v);
       cols.push_back(relation.ColumnOf(v));
     }
-    for (size_t i = 0; i < relation.size(); ++i) {
+    // Route rows in parallel over fixed-size shards. Each shard emits into
+    // private buffers; shards are merged in ascending shard order below, so
+    // `receives` and the per-cell append order are byte-identical to the
+    // serial path at any thread count.
+    auto route_row = [&](size_t i, const auto& emit) {
       auto row = relation.row(i);
       uint64_t base = 0;
       for (size_t j = 0; j < bound.size(); ++j) {
@@ -232,8 +242,47 @@ HypercubeResult HypercubeJoin(Cluster* cluster, const Hypergraph& query,
           cell += stride[v] * (rest % shares.shares[v]);
           rest /= shares.shares[v];
         }
-        ++receives[cell];
-        if (collect) per_server[cell][e].AppendRow(row);
+        emit(cell);
+      }
+    };
+
+    ThreadPool& pool = ThreadPool::Global();
+    size_t num_route_shards = ThreadPool::NumShards(0, relation.size(), kRouteGrain);
+    if (collect) {
+      // Collect mode must reproduce the serial per-cell append order, so
+      // each shard records its (cell, row) routes in row order and the
+      // replay below walks shards in ascending order.
+      std::vector<std::vector<std::pair<uint64_t, size_t>>> shard_routes(num_route_shards);
+      pool.ParallelForShards(
+          0, relation.size(), kRouteGrain,
+          [&](size_t shard_begin, size_t shard_end, size_t shard) {
+            shard_end = std::min(shard_end, relation.size());
+            auto& routes = shard_routes[shard];
+            routes.reserve((shard_end - shard_begin) * free_combos);
+            for (size_t i = shard_begin; i < shard_end; ++i) {
+              route_row(i, [&](uint64_t cell) { routes.emplace_back(cell, i); });
+            }
+          });
+      for (const auto& routes : shard_routes) {
+        for (const auto& [cell, i] : routes) {
+          ++receives[cell];
+          per_server[cell][e].AppendRow(relation.row(i));
+        }
+      }
+    } else {
+      std::vector<std::vector<uint64_t>> shard_receives(num_route_shards);
+      pool.ParallelForShards(
+          0, relation.size(), kRouteGrain,
+          [&](size_t shard_begin, size_t shard_end, size_t shard) {
+            shard_end = std::min(shard_end, relation.size());
+            auto& local = shard_receives[shard];
+            local.assign(shares.grid_size, 0);
+            for (size_t i = shard_begin; i < shard_end; ++i) {
+              route_row(i, [&](uint64_t cell) { ++local[cell]; });
+            }
+          });
+      for (const auto& local : shard_receives) {
+        for (uint64_t cell = 0; cell < local.size(); ++cell) receives[cell] += local[cell];
       }
     }
   }
@@ -255,11 +304,15 @@ HypercubeResult HypercubeJoin(Cluster* cluster, const Hypergraph& query,
 
   if (collect) {
     result.results = DistRelation(query.AllAttrs(), cluster->p());
-    for (uint32_t s = 0; s < shares.grid_size; ++s) {
+    // Per-cell joins are independent: each writes its own output shard, and
+    // the per-cell counts are summed in cell order afterwards.
+    std::vector<uint64_t> cell_outputs(shares.grid_size, 0);
+    ThreadPool::Global().ParallelFor(0, shares.grid_size, 1, [&](size_t s) {
       Relation local = GenericJoin(query, per_server[s]);
-      result.output_count += local.size();
-      result.results.shard(s) = std::move(local);
-    }
+      cell_outputs[s] = local.size();
+      result.results.shard(static_cast<uint32_t>(s)) = std::move(local);
+    });
+    for (uint64_t count : cell_outputs) result.output_count += count;
   }
   return result;
 }

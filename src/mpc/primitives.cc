@@ -7,6 +7,7 @@
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/thread_pool.h"
 
 namespace coverpack {
 namespace mpc {
@@ -34,11 +35,17 @@ DistRelation HashPartition(Cluster* cluster, const DistRelation& input, AttrSet 
   for (AttrId attr : key.ToVector()) {
     cols.push_back(schema.ColumnOf(attr));
   }
+  // Hash every row's target in parallel (the hashing dominates), then
+  // append serially in (shard, row) order so each output shard's row order
+  // is byte-identical to the serial path.
   for (uint32_t s = 0; s < input.num_shards(); ++s) {
     const Relation& shard = input.shard(s);
+    std::vector<uint32_t> targets(shard.size());
+    ThreadPool::Global().ParallelFor(0, shard.size(), 4096, [&](size_t i) {
+      targets[i] = static_cast<uint32_t>(KeyHashOfRow(shard, i, cols) % p);
+    });
     for (size_t i = 0; i < shard.size(); ++i) {
-      uint32_t target = static_cast<uint32_t>(KeyHashOfRow(shard, i, cols) % p);
-      output.shard(target).AppendRow(shard.row(i));
+      output.shard(targets[i]).AppendRow(shard.row(i));
     }
   }
   CP_AUDIT_ONLY(const uint64_t tracker_before = cluster->tracker().TotalCommunication();)
@@ -85,14 +92,21 @@ std::unordered_map<Value, uint64_t> DegreeByValue(Cluster* cluster, const DistRe
                                                   AttrId attr, uint32_t* round) {
   // Local pre-aggregation is free; the exchange of (value, count) pairs and
   // the final combine are two O(N/p) rounds of the sort-based reduce-by-key.
+  // Per-shard local aggregation runs in parallel (each local map depends
+  // only on its own shard); the combine walks shards in ascending order so
+  // the result map's insertion order matches the serial path exactly.
   std::unordered_map<Value, uint64_t> degrees;
   uint64_t pair_count = 0;
-  for (uint32_t s = 0; s < input.num_shards(); ++s) {
-    const Relation& shard = input.shard(s);
-    if (shard.empty()) continue;
+  std::vector<std::unordered_map<Value, uint64_t>> locals(input.num_shards());
+  ThreadPool::Global().ParallelFor(0, input.num_shards(), 1, [&](size_t s) {
+    const Relation& shard = input.shard(static_cast<uint32_t>(s));
+    if (shard.empty()) return;
     uint32_t col = shard.ColumnOf(attr);
-    std::unordered_map<Value, uint64_t> local;
-    for (size_t i = 0; i < shard.size(); ++i) ++local[shard.row(i)[col]];
+    for (size_t i = 0; i < shard.size(); ++i) ++locals[s][shard.row(i)[col]];
+  });
+  for (uint32_t s = 0; s < input.num_shards(); ++s) {
+    const std::unordered_map<Value, uint64_t>& local = locals[s];
+    if (local.empty()) continue;
     pair_count += local.size();
     for (const auto& [value, count] : local) degrees[value] += count;
   }
@@ -116,9 +130,11 @@ DistRelation SemiJoinMpc(Cluster* cluster, const DistRelation& left, const DistR
   DistRelation right_parts = HashPartition(cluster, right, shared, *round);
   *round += 1;
   DistRelation output(left.attrs(), cluster->p());
-  for (uint32_t s = 0; s < cluster->p(); ++s) {
-    output.shard(s) = SemiJoin(left_parts.shard(s), right_parts.shard(s));
-  }
+  // One independent semi-join per server; each writes its own shard.
+  ThreadPool::Global().ParallelFor(0, cluster->p(), 1, [&](size_t s) {
+    uint32_t server = static_cast<uint32_t>(s);
+    output.shard(server) = SemiJoin(left_parts.shard(server), right_parts.shard(server));
+  });
   // A semi-join filters the left side; it can never grow it.
   CP_AUDIT_LE(output.TotalSize(), left.TotalSize());
   return output;

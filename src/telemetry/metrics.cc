@@ -6,6 +6,7 @@
 
 #include "util/audit.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace coverpack {
 namespace telemetry {
@@ -59,16 +60,57 @@ JsonValue Histogram::ToJson() const {
   return value;
 }
 
+MetricsRegistry::MetricsRegistry(const MetricsRegistry& other) {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  counters_ = other.counters_;
+  gauges_ = other.gauges_;
+  histograms_ = other.histograms_;
+  timers_ = other.timers_;
+}
+
+MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  counters_ = other.counters_;
+  gauges_ = other.gauges_;
+  histograms_ = other.histograms_;
+  timers_ = other.timers_;
+  mutator_thread_hash_ = 0;
+  return *this;
+}
+
+MetricsRegistry::MetricsRegistry(MetricsRegistry&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  counters_ = std::move(other.counters_);
+  gauges_ = std::move(other.gauges_);
+  histograms_ = std::move(other.histograms_);
+  timers_ = std::move(other.timers_);
+}
+
+MetricsRegistry& MetricsRegistry::operator=(MetricsRegistry&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  counters_ = std::move(other.counters_);
+  gauges_ = std::move(other.gauges_);
+  histograms_ = std::move(other.histograms_);
+  timers_ = std::move(other.timers_);
+  mutator_thread_hash_ = 0;
+  return *this;
+}
+
 void MetricsRegistry::NoteMutation() {
 #ifdef COVERPACK_AUDIT
   uint64_t self = std::hash<std::thread::id>{}(std::this_thread::get_id());
   if (self == 0) self = 1;  // reserve 0 for "no mutation yet"
   if (mutator_thread_hash_ == 0) mutator_thread_hash_ = self;
-  CP_AUDIT(mutator_thread_hash_ == self);
+  // A pool task mutating the registry is sanctioned parallelism (the mutex
+  // serializes it); any other foreign thread is an unsynchronized-usage bug.
+  CP_AUDIT(mutator_thread_hash_ == self || ThreadPool::InPoolTask());
 #endif
 }
 
 void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
   NoteMutation();
   uint64_t& counter = counters_[name];
   CP_AUDIT_ONLY(const uint64_t before = counter;)
@@ -78,22 +120,26 @@ void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
 }
 
 uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
   NoteMutation();
   gauges_[name] = value;
 }
 
 double MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
   NoteMutation();
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
@@ -106,11 +152,13 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 void MetricsRegistry::RecordTimeMs(const std::string& name, double elapsed_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
   NoteMutation();
   auto [it, inserted] = timers_.try_emplace(name);
   TimerStat& stat = it->second;
@@ -126,11 +174,13 @@ void MetricsRegistry::RecordTimeMs(const std::string& name, double elapsed_ms) {
 }
 
 const TimerStat* MetricsRegistry::FindTimer(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = timers_.find(name);
   return it == timers_.end() ? nullptr : &it->second;
 }
 
 JsonValue MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   JsonValue value = JsonValue::Object();
   JsonValue counters = JsonValue::Object();
   for (const auto& [name, count] : counters_) counters.Set(name, count);

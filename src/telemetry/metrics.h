@@ -9,14 +9,19 @@
 ///
 ///  * deterministic serialization — metrics are stored in sorted maps so
 ///    the JSON output is byte-stable across runs of the same binary;
-///  * single-threaded mutation — the simulator is single-threaded by
-///    design (DESIGN.md §4) and the registry inherits that contract.
-///    Audit builds (COVERPACK_AUDIT=ON) enforce it: every mutation
-///    CP_AUDITs that it happens on the thread that first touched the
-///    registry;
+///  * pool-synchronized mutation — the simulator's hot loops run on the
+///    ThreadPool (DESIGN.md §4), so registry mutations are serialized by
+///    an internal mutex. Audit builds (COVERPACK_AUDIT=ON) still reject
+///    *unsanctioned* cross-thread mutation: a mutation must come either
+///    from the thread that first touched the registry or from inside a
+///    pool task (ThreadPool::InPoolTask()) — a foreign thread bypassing
+///    the pool aborts the audit;
 ///  * invariant-audited histograms — bucket upper bounds are strictly
 ///    increasing (always checked) and, in audit builds, every Observe
 ///    re-verifies that bucket counts sum to the observation count.
+///    Note: the Histogram& returned by GetHistogram is NOT internally
+///    synchronized — observe into it from one thread, or from shard-private
+///    histograms merged after the parallel region.
 
 #ifndef COVERPACK_TELEMETRY_METRICS_H_
 #define COVERPACK_TELEMETRY_METRICS_H_
@@ -24,6 +29,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -75,6 +81,14 @@ class MetricsRegistry {
  public:
   MetricsRegistry() = default;
 
+  // Copy/move transfer the data but not the mutex or the audit's mutator
+  // claim — the destination starts unclaimed, owned by whichever thread
+  // mutates it next.
+  MetricsRegistry(const MetricsRegistry& other);
+  MetricsRegistry& operator=(const MetricsRegistry& other);
+  MetricsRegistry(MetricsRegistry&& other) noexcept;
+  MetricsRegistry& operator=(MetricsRegistry&& other) noexcept;
+
   /// Adds `delta` to counter `name` (creating it at zero). Counters are
   /// monotone by construction: delta is unsigned.
   void AddCounter(const std::string& name, uint64_t delta = 1);
@@ -93,6 +107,7 @@ class MetricsRegistry {
   const TimerStat* FindTimer(const std::string& name) const;
 
   bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return counters_.empty() && gauges_.empty() && histograms_.empty() && timers_.empty();
   }
 
@@ -117,10 +132,12 @@ class MetricsRegistry {
   };
 
  private:
-  /// Audit hook: asserts single-threaded mutation (first mutator owns the
-  /// registry). Compiles to a no-op outside COVERPACK_AUDIT builds.
+  /// Audit hook, called with mutex_ held: the mutation must come from the
+  /// first mutator thread or from a sanctioned pool task; any other thread
+  /// aborts. Compiles to a no-op outside COVERPACK_AUDIT builds.
   void NoteMutation();
 
+  mutable std::mutex mutex_;
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, Histogram> histograms_;

@@ -21,6 +21,9 @@ JsonValue RunReport::ToJson() const {
   value.Set("verdict", verdict());
   value.Set("ok", ok);
   value.Set("wall_ms", wall_ms);
+  value.Set("threads", static_cast<uint64_t>(threads));
+  value.Set("wall_ms_serial", wall_ms_serial);
+  value.Set("speedup", speedup);
   value.Set("max_load", max_load);
   value.Set("rounds", rounds);
   value.Set("params", params);

@@ -70,6 +70,14 @@ struct RunReport {
   bool ok = false;
   double wall_ms = 0.0;  ///< stamped by the driver
 
+  /// Execution parameters, stamped by the driver (additive schema-v1
+  /// fields): the thread count the run used, the serial (--threads=1)
+  /// wall-clock when the driver measured one (--compare-serial), and the
+  /// resulting serial/parallel speedup (0 = not measured).
+  unsigned threads = 1;
+  double wall_ms_serial = 0.0;
+  double speedup = 0.0;
+
   /// Adds a profile and folds its load/rounds into the headline maxima.
   void AddLoadProfile(LoadSkewProfile profile);
 

@@ -20,6 +20,14 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t SplitSeed(uint64_t seed, uint64_t stream) {
+  // The (stream+1)-th output of SplitMix64(seed): SplitMix64 pre-increments
+  // its state by the golden-ratio gamma, so jumping the state ahead by
+  // `stream` gammas and drawing once lands exactly on that output.
+  uint64_t state = seed + stream * 0x9E3779B97F4A7C15ull;
+  return SplitMix64(&state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : state_) word = SplitMix64(&sm);

@@ -16,6 +16,15 @@
 
 namespace coverpack {
 
+/// SplitMix64 stream-splitting: derives the `stream`-th child seed of
+/// `seed`. The result is the (stream+1)-th output of a SplitMix64 generator
+/// seeded with `seed`, so child seeds are pairwise distinct for a fixed
+/// parent and fully mixed (nearby streams give unrelated seeds). Sharded
+/// generators use `Rng(SplitSeed(seed, shard))` so that every shard has a
+/// private, replayable stream derived only from the experiment seed and the
+/// shard index — never from the thread count.
+uint64_t SplitSeed(uint64_t seed, uint64_t stream);
+
 /// xoshiro256** by Blackman & Vigna: fast, high-quality, and tiny.
 /// Seeded through SplitMix64 so that nearby seeds give unrelated streams.
 class Rng {

@@ -1,0 +1,229 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace coverpack {
+
+namespace {
+
+/// Depth of pool-task nesting on this thread (workers and callers helping
+/// their own batches both count). Nonzero means "inside a pool task".
+thread_local int tl_pool_task_depth = 0;
+
+/// RAII depth bump so exceptions unwind it correctly.
+struct PoolTaskScope {
+  PoolTaskScope() { ++tl_pool_task_depth; }
+  ~PoolTaskScope() { --tl_pool_task_depth; }
+};
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+// Leaked on purpose: joining workers during static destruction is a
+// well-known shutdown hazard, and the pool owns no resources the OS does
+// not reclaim.
+ThreadPool* g_global_pool = nullptr;
+unsigned g_global_threads = 0;  // 0 = not set; fall back to hw concurrency
+
+unsigned DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(std::max(1u, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (unsigned i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+    // Unstarted Submit closures are discarded; queued batch announcements
+    // are safe to drop because every batch's submitter drains it itself.
+    queue_.clear();
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::NumShards(size_t begin, size_t end, size_t grain) {
+  if (end <= begin) return 0;
+  grain = std::max<size_t>(1, grain);
+  return (end - begin + grain - 1) / grain;
+}
+
+void ThreadPool::RunShard(Batch* batch, size_t shard) {
+  {
+    PoolTaskScope scope;
+    // After a shard has thrown, remaining shards are skipped (claimed and
+    // accounted, not executed) so a poisoned batch drains quickly.
+    bool poisoned;
+    {
+      std::lock_guard<std::mutex> lock(batch->error_mutex);
+      poisoned = batch->error != nullptr;
+    }
+    if (!poisoned) {
+      size_t shard_begin = batch->begin + shard * batch->grain;
+      size_t shard_end = std::min(shard_begin + batch->grain, batch->end);
+      try {
+        (*batch->fn)(shard_begin, shard_end, shard);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch->error_mutex);
+        if (batch->error == nullptr) batch->error = std::current_exception();
+      }
+    }
+  }
+  size_t done = batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (done == batch->shards) {
+    // Lock/unlock pairs with the submitter's predicate re-check so the
+    // notify cannot slip between its check and its wait.
+    { std::lock_guard<std::mutex> lock(batch->done_mutex); }
+    batch->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::DrainBatch(Batch* batch) {
+  for (;;) {
+    size_t shard = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= batch->shards) return;
+    RunShard(batch, shard);
+  }
+}
+
+void ThreadPool::ParallelForShards(size_t begin, size_t end, size_t grain,
+                                   const ShardFn& fn) {
+  grain = std::max<size_t>(1, grain);
+  size_t shards = NumShards(begin, end, grain);
+  if (shards == 0) return;
+
+  // Serial path: no workers, or nothing to share. Exceptions propagate
+  // directly; later shards after a throw never run, matching the parallel
+  // path's poisoned-batch skip.
+  if (num_threads_ <= 1 || shards == 1) {
+    for (size_t shard = 0; shard < shards; ++shard) {
+      PoolTaskScope scope;
+      size_t shard_begin = begin + shard * grain;
+      fn(shard_begin, std::min(shard_begin + grain, end), shard);
+    }
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->begin = begin;
+  batch->end = end;
+  batch->grain = grain;
+  batch->shards = shards;
+  batch->fn = &fn;
+
+  // Announce the batch to at most (workers, shards-1) helpers — the
+  // calling thread takes the remaining share itself.
+  size_t announcements = std::min<size_t>(num_threads_ - 1, shards - 1);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!stopping_) {
+      for (size_t i = 0; i < announcements; ++i) {
+        queue_.push_back(QueueEntry{batch, nullptr});
+      }
+    }
+  }
+  if (announcements == 1) {
+    queue_cv_.notify_one();
+  } else {
+    queue_cv_.notify_all();
+  }
+
+  // The caller participates in its own batch: this is what makes nested
+  // ParallelFor from inside a worker deadlock-free — every batch has at
+  // least one thread (its creator) claiming shards.
+  DrainBatch(batch.get());
+
+  std::unique_lock<std::mutex> lock(batch->done_mutex);
+  batch->done_cv.wait(lock, [&] {
+    return batch->completed.load(std::memory_order_acquire) == batch->shards;
+  });
+  lock.unlock();
+
+  if (batch->error != nullptr) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t)>& fn) {
+  ParallelForShards(begin, end, grain,
+                    [&fn](size_t shard_begin, size_t shard_end, size_t /*shard*/) {
+                      for (size_t i = shard_begin; i < shard_end; ++i) fn(i);
+                    });
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  CP_CHECK(fn != nullptr);
+  if (num_threads_ <= 1) {
+    PoolTaskScope scope;
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!stopping_) queue_.push_back(QueueEntry{nullptr, std::move(fn)});
+  }
+  queue_cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    QueueEntry entry;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      entry = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (entry.batch != nullptr) {
+      DrainBatch(entry.batch.get());
+    } else {
+      // Submit closures must not throw (fire-and-forget has nowhere to
+      // deliver an exception); a throw here terminates, loudly.
+      PoolTaskScope scope;
+      entry.simple();
+    }
+  }
+}
+
+bool ThreadPool::InPoolTask() { return tl_pool_task_depth > 0; }
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  if (g_global_pool == nullptr) {
+    unsigned threads = g_global_threads == 0 ? DefaultThreads() : g_global_threads;
+    g_global_pool = new ThreadPool(threads);
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(unsigned num_threads) {
+  num_threads = std::max(1u, num_threads);
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  g_global_threads = num_threads;
+  if (g_global_pool != nullptr && g_global_pool->num_threads() != num_threads) {
+    delete g_global_pool;  // joins the old workers; no work may be in flight
+    g_global_pool = nullptr;
+  }
+}
+
+unsigned ThreadPool::GlobalThreads() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  if (g_global_threads != 0) return g_global_threads;
+  return DefaultThreads();
+}
+
+}  // namespace coverpack

@@ -1,25 +1,61 @@
 #include "workload/generators.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace coverpack {
 namespace workload {
+
+namespace {
+
+/// Rows per generation shard. Fixed — never derived from the thread
+/// count — so the shard decomposition, the per-shard Rng streams, and the
+/// merge order are identical at any parallelism level.
+constexpr size_t kGenGrain = 4096;
+
+/// Appends the shard buffers (flat row-major Value runs) to the relation in
+/// ascending shard order.
+void AppendShardBuffers(Relation* relation, uint32_t width,
+                        const std::vector<std::vector<Value>>& shard_rows) {
+  if (width == 0) return;
+  for (const std::vector<Value>& buffer : shard_rows) {
+    for (size_t i = 0; i + width <= buffer.size(); i += width) {
+      relation->AppendRow(std::span<const Value>(buffer.data() + i, width));
+    }
+  }
+}
+
+}  // namespace
 
 Relation UniformRandom(AttrSet attrs, size_t n, uint64_t domain, Rng* rng) {
   CP_CHECK_GT(domain, 0u);
   Relation relation(attrs);
   relation.Reserve(n);
   uint32_t width = attrs.size();
-  std::vector<Value> row(width);
-  // Draw until n distinct tuples exist (or the domain is exhausted).
+  // Draw until n distinct tuples exist (or the domain is exhausted). Each
+  // refill round consumes exactly one base draw from the caller's rng;
+  // shards split private streams off that base, so the output depends only
+  // on the caller's rng state and the deficit — never on the thread count.
   size_t attempts = 0;
   size_t max_attempts = n * 20 + 1000;
   while (relation.size() < n && attempts < max_attempts) {
     size_t deficit = n - relation.size();
-    for (size_t i = 0; i < deficit; ++i) {
-      for (uint32_t c = 0; c < width; ++c) row[c] = rng->Uniform(domain);
-      relation.AppendRow(std::span<const Value>(row));
-    }
+    uint64_t round_base = rng->Next();
+    size_t num_shards = ThreadPool::NumShards(0, deficit, kGenGrain);
+    std::vector<std::vector<Value>> shard_rows(num_shards);
+    ThreadPool::Global().ParallelForShards(
+        0, deficit, kGenGrain, [&](size_t shard_begin, size_t shard_end, size_t shard) {
+          shard_end = std::min(shard_end, deficit);
+          Rng shard_rng(SplitSeed(round_base, shard));
+          std::vector<Value>& buffer = shard_rows[shard];
+          buffer.reserve((shard_end - shard_begin) * width);
+          for (size_t i = shard_begin; i < shard_end; ++i) {
+            for (uint32_t c = 0; c < width; ++c) buffer.push_back(shard_rng.Uniform(domain));
+          }
+        });
+    AppendShardBuffers(&relation, width, shard_rows);
     relation.Dedup();
     attempts += deficit;
   }
@@ -49,32 +85,52 @@ Relation Cartesian(AttrSet attrs, const std::vector<uint64_t>& dims) {
   }
   Relation relation(attrs);
   relation.Reserve(total);
-  std::vector<Value> row(width, 0);
-  for (uint64_t index = 0; index < total; ++index) {
-    uint64_t rest = index;
-    for (uint32_t c = 0; c < width; ++c) {
-      row[c] = rest % dims[c];
-      rest /= dims[c];
-    }
-    relation.AppendRow(std::span<const Value>(row));
-  }
+  // Mixed-radix decoding is independent per index: shards decode into
+  // private buffers appended in shard order (= ascending index order).
+  size_t num_shards = ThreadPool::NumShards(0, total, kGenGrain);
+  std::vector<std::vector<Value>> shard_rows(num_shards);
+  ThreadPool::Global().ParallelForShards(
+      0, total, kGenGrain, [&](size_t shard_begin, size_t shard_end, size_t shard) {
+        shard_end = std::min<size_t>(shard_end, total);
+        std::vector<Value>& buffer = shard_rows[shard];
+        buffer.reserve((shard_end - shard_begin) * width);
+        for (size_t index = shard_begin; index < shard_end; ++index) {
+          uint64_t rest = index;
+          for (uint32_t c = 0; c < width; ++c) {
+            buffer.push_back(rest % dims[c]);
+            rest /= dims[c];
+          }
+        }
+      });
+  AppendShardBuffers(&relation, width, shard_rows);
   return relation;
 }
 
 Relation Zipf(AttrSet attrs, size_t n, uint64_t domain, double skew, Rng* rng) {
-  ZipfSampler sampler(domain, skew);
+  ZipfSampler sampler(domain, skew);  // const after construction; shared by shards
   Relation relation(attrs);
   relation.Reserve(n);
   uint32_t width = attrs.size();
-  std::vector<Value> row(width);
+  // Same refill scheme as UniformRandom: one base draw per round, private
+  // per-shard streams, shard-ordered merge.
   size_t attempts = 0;
   size_t max_attempts = n * 50 + 1000;
   while (relation.size() < n && attempts < max_attempts) {
     size_t deficit = n - relation.size();
-    for (size_t i = 0; i < deficit; ++i) {
-      for (uint32_t c = 0; c < width; ++c) row[c] = sampler.Sample(rng);
-      relation.AppendRow(std::span<const Value>(row));
-    }
+    uint64_t round_base = rng->Next();
+    size_t num_shards = ThreadPool::NumShards(0, deficit, kGenGrain);
+    std::vector<std::vector<Value>> shard_rows(num_shards);
+    ThreadPool::Global().ParallelForShards(
+        0, deficit, kGenGrain, [&](size_t shard_begin, size_t shard_end, size_t shard) {
+          shard_end = std::min(shard_end, deficit);
+          Rng shard_rng(SplitSeed(round_base, shard));
+          std::vector<Value>& buffer = shard_rows[shard];
+          buffer.reserve((shard_end - shard_begin) * width);
+          for (size_t i = shard_begin; i < shard_end; ++i) {
+            for (uint32_t c = 0; c < width; ++c) buffer.push_back(sampler.Sample(&shard_rng));
+          }
+        });
+    AppendShardBuffers(&relation, width, shard_rows);
     relation.Dedup();
     attempts += deficit;
   }

@@ -1,0 +1,184 @@
+/// \file determinism_test.cc
+/// \brief The determinism golden tests: the simulator must be bit-identical
+/// at any thread count.
+///
+/// Two layers of coverage:
+///
+///  * every *fast* registered experiment runs at --threads=1 and
+///    --threads=4 and must produce byte-identical RunReport JSON
+///    (wall-clock timers masked — they are the only sanctioned
+///    nondeterminism);
+///  * seeded end-to-end pipelines (workload generation -> acyclic /
+///    one-round execution) compare full LoadTracker matrices, result
+///    relations, and decomposition traces across thread counts for
+///    several seeds.
+///
+/// This binary links the bench experiment registry, so it lives apart
+/// from cp_tests (which must not depend on bench/).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/acyclic_join.h"
+#include "core/one_round.h"
+#include "experiments/experiments.h"
+#include "mpc/load_tracker.h"
+#include "query/catalog.h"
+#include "relation/instance.h"
+#include "telemetry/run_report.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "workload/generators.h"
+
+namespace coverpack {
+namespace {
+
+std::string ReportJson(const telemetry::RunReport& report) {
+  std::ostringstream out;
+  report.ToJson().Write(out);
+  return out.str();
+}
+
+/// Replaces every `"timers":{...}` subobject with `"timers":{}` — wall-clock
+/// timer samples are the only report content allowed to differ between two
+/// runs of the same experiment.
+std::string MaskTimers(const std::string& json) {
+  std::string out;
+  const std::string key = "\"timers\":";
+  size_t pos = 0;
+  while (true) {
+    size_t hit = json.find(key, pos);
+    if (hit == std::string::npos) {
+      out.append(json, pos, std::string::npos);
+      break;
+    }
+    size_t brace = hit + key.size();
+    while (brace < json.size() && json[brace] != '{') ++brace;
+    int depth = 0;
+    size_t end = brace;
+    for (; end < json.size(); ++end) {
+      if (json[end] == '{') {
+        ++depth;
+      } else if (json[end] == '}') {
+        if (--depth == 0) {
+          ++end;
+          break;
+        }
+      }
+    }
+    out.append(json, pos, hit - pos);
+    out += "\"timers\":{}";
+    pos = end;
+  }
+  return out;
+}
+
+bool RelationsEqual(const Relation& a, const Relation& b) {
+  if (!(a.attrs() == b.attrs()) || a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto ra = a.row(i), rb = b.row(i);
+    for (size_t c = 0; c < ra.size(); ++c) {
+      if (ra[c] != rb[c]) return false;
+    }
+  }
+  return true;
+}
+
+bool TrackersEqual(const LoadTracker& a, const LoadTracker& b) {
+  if (a.num_servers() != b.num_servers() || a.num_rounds() != b.num_rounds()) return false;
+  for (uint32_t round = 0; round < a.num_rounds(); ++round) {
+    for (uint32_t server = 0; server < a.num_servers(); ++server) {
+      if (a.At(round, server) != b.At(round, server)) return false;
+    }
+  }
+  return true;
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = ThreadPool::GlobalThreads(); }
+  void TearDown() override { ThreadPool::SetGlobalThreads(saved_threads_); }
+
+ private:
+  unsigned saved_threads_ = 1;
+};
+
+TEST_F(DeterminismTest, MaskTimersReplacesTimerObjects) {
+  EXPECT_EQ(MaskTimers(R"({"timers":{"a":{"count":1,"total_ms":2.5}},"x":1})"),
+            R"({"timers":{},"x":1})");
+  EXPECT_EQ(MaskTimers(R"({"x":1})"), R"({"x":1})");
+}
+
+TEST_F(DeterminismTest, FastExperimentsAreBitIdenticalAcrossThreadCounts) {
+  for (const bench::Experiment& experiment : bench::AllExperiments()) {
+    if (!experiment.fast) continue;
+    SCOPED_TRACE(experiment.id);
+    ThreadPool::SetGlobalThreads(1);
+    telemetry::RunReport serial = experiment.run(experiment);
+    ThreadPool::SetGlobalThreads(4);
+    telemetry::RunReport parallel = experiment.run(experiment);
+    EXPECT_EQ(serial.ok, parallel.ok);
+    EXPECT_EQ(MaskTimers(ReportJson(serial)), MaskTimers(ReportJson(parallel)));
+  }
+}
+
+TEST_F(DeterminismTest, AcyclicJoinIsBitIdenticalAcrossThreadCounts) {
+  Hypergraph query = catalog::Path(4);
+  AcyclicRunOptions options;
+  options.policy = RunPolicy::kOptimal;
+  options.collect = true;
+  options.p = 64;
+  options.trace = true;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE(seed);
+    ThreadPool::SetGlobalThreads(1);
+    Rng serial_rng(seed);
+    Instance serial_instance = workload::UniformInstance(query, 2000, 200, &serial_rng);
+    AcyclicRunResult serial = ComputeAcyclicJoin(query, serial_instance, options);
+
+    ThreadPool::SetGlobalThreads(4);
+    Rng parallel_rng(seed);
+    Instance parallel_instance = workload::UniformInstance(query, 2000, 200, &parallel_rng);
+    AcyclicRunResult parallel = ComputeAcyclicJoin(query, parallel_instance, options);
+
+    EXPECT_EQ(serial.output_count, parallel.output_count);
+    EXPECT_EQ(serial.max_load, parallel.max_load);
+    EXPECT_EQ(serial.rounds, parallel.rounds);
+    EXPECT_EQ(serial.servers_used, parallel.servers_used);
+    EXPECT_EQ(serial.total_communication, parallel.total_communication);
+    EXPECT_EQ(serial.load_threshold, parallel.load_threshold);
+    EXPECT_TRUE(RelationsEqual(serial.results, parallel.results));
+    EXPECT_TRUE(TrackersEqual(serial.load_tracker, parallel.load_tracker));
+    EXPECT_EQ(TraceToString(serial.trace), TraceToString(parallel.trace));
+  }
+}
+
+TEST_F(DeterminismTest, OneRoundIsBitIdenticalAcrossThreadCounts) {
+  Hypergraph query = catalog::Triangle();
+  OneRoundOptions options;
+  options.collect = true;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE(seed);
+    ThreadPool::SetGlobalThreads(1);
+    Rng serial_rng(seed);
+    Instance serial_instance = workload::ZipfInstance(query, 2000, 300, 1.1, &serial_rng);
+    OneRoundResult serial = ComputeOneRoundSkewAware(query, serial_instance, 64, options);
+
+    ThreadPool::SetGlobalThreads(4);
+    Rng parallel_rng(seed);
+    Instance parallel_instance = workload::ZipfInstance(query, 2000, 300, 1.1, &parallel_rng);
+    OneRoundResult parallel = ComputeOneRoundSkewAware(query, parallel_instance, 64, options);
+
+    EXPECT_EQ(serial.output_count, parallel.output_count);
+    EXPECT_EQ(serial.max_load, parallel.max_load);
+    EXPECT_EQ(serial.servers_used, parallel.servers_used);
+    EXPECT_TRUE(RelationsEqual(serial.results, parallel.results));
+    EXPECT_TRUE(TrackersEqual(serial.load_tracker, parallel.load_tracker));
+  }
+}
+
+}  // namespace
+}  // namespace coverpack

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "lowerbound/hard_instance.h"
+#include "query/catalog.h"
+#include "relation/instance.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "workload/generators.h"
+
+namespace coverpack {
+namespace {
+
+TEST(SplitSeedTest, Replayable) {
+  EXPECT_EQ(SplitSeed(42, 0), SplitSeed(42, 0));
+  EXPECT_EQ(SplitSeed(42, 7), SplitSeed(42, 7));
+  EXPECT_EQ(SplitSeed(0, 0), SplitSeed(0, 0));
+}
+
+TEST(SplitSeedTest, StreamsArePairwiseDistinctPerParent) {
+  for (uint64_t parent : {0ull, 1ull, 42ull, 0xDEADBEEFull}) {
+    std::set<uint64_t> seeds;
+    for (uint64_t stream = 0; stream < 512; ++stream) {
+      seeds.insert(SplitSeed(parent, stream));
+    }
+    EXPECT_EQ(seeds.size(), 512u) << "collision under parent " << parent;
+  }
+}
+
+TEST(SplitSeedTest, StreamsYieldDisjointSequences) {
+  // Child generators must behave as independent streams: across several
+  // streams of one parent, the first outputs never collide (a collision of
+  // 64-bit values over this few draws would be astronomically unlikely).
+  std::set<uint64_t> outputs;
+  constexpr int kStreams = 16, kDraws = 128;
+  for (uint64_t stream = 0; stream < kStreams; ++stream) {
+    Rng rng(SplitSeed(12345, stream));
+    for (int i = 0; i < kDraws; ++i) outputs.insert(rng.Next());
+  }
+  EXPECT_EQ(outputs.size(), size_t{kStreams} * kDraws);
+}
+
+TEST(SplitSeedTest, ChildStreamDiffersFromParent) {
+  Rng parent(12345);
+  Rng child(SplitSeed(12345, 0));
+  bool differs = false;
+  for (int i = 0; i < 16 && !differs; ++i) differs = parent.Next() != child.Next();
+  EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded generators: bit-identical output at any global thread count.
+// ---------------------------------------------------------------------------
+
+bool RelationsEqual(const Relation& a, const Relation& b) {
+  if (!(a.attrs() == b.attrs()) || a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto ra = a.row(i), rb = b.row(i);
+    for (size_t c = 0; c < ra.size(); ++c) {
+      if (ra[c] != rb[c]) return false;
+    }
+  }
+  return true;
+}
+
+/// Restores the global pool size after each test so the sweep cannot leak
+/// into unrelated tests.
+class ShardedGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = ThreadPool::GlobalThreads(); }
+  void TearDown() override { ThreadPool::SetGlobalThreads(saved_threads_); }
+
+  /// Runs `make` once at 1 thread and once at 4, asserting bit-identical
+  /// relations, for every seed in [0, 8).
+  template <typename MakeFn>
+  void ExpectThreadCountInvariant(const MakeFn& make) {
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      ThreadPool::SetGlobalThreads(1);
+      Relation serial = make(seed);
+      ThreadPool::SetGlobalThreads(4);
+      Relation parallel = make(seed);
+      EXPECT_TRUE(RelationsEqual(serial, parallel)) << "seed " << seed;
+    }
+  }
+
+ private:
+  unsigned saved_threads_ = 1;
+};
+
+TEST_F(ShardedGeneratorTest, UniformRandomIsThreadCountInvariant) {
+  ExpectThreadCountInvariant([](uint64_t seed) {
+    Rng rng(seed);
+    return workload::UniformRandom(AttrSet::FromIds({0, 1, 2}), 5000, 1000, &rng);
+  });
+}
+
+TEST_F(ShardedGeneratorTest, UniformRandomLeavesRngInSameState) {
+  // The parallel refill must consume the same number of parent draws as the
+  // serial one, or downstream code sharing the Rng would diverge.
+  ThreadPool::SetGlobalThreads(1);
+  Rng serial_rng(3);
+  workload::UniformRandom(AttrSet::FromIds({0, 1}), 2000, 5000, &serial_rng);
+  ThreadPool::SetGlobalThreads(4);
+  Rng parallel_rng(3);
+  workload::UniformRandom(AttrSet::FromIds({0, 1}), 2000, 5000, &parallel_rng);
+  EXPECT_EQ(serial_rng.Next(), parallel_rng.Next());
+}
+
+TEST_F(ShardedGeneratorTest, ZipfIsThreadCountInvariant) {
+  ExpectThreadCountInvariant([](uint64_t seed) {
+    Rng rng(seed);
+    return workload::Zipf(AttrSet::FromIds({0, 1}), 4000, 2000, 1.1, &rng);
+  });
+}
+
+TEST_F(ShardedGeneratorTest, CartesianIsThreadCountInvariant) {
+  // Cartesian is seedless; sweep thread counts over a fixed shape instead.
+  ThreadPool::SetGlobalThreads(1);
+  Relation serial = workload::Cartesian(AttrSet::FromIds({0, 1, 2}), {17, 23, 31});
+  ThreadPool::SetGlobalThreads(4);
+  Relation parallel = workload::Cartesian(AttrSet::FromIds({0, 1, 2}), {17, 23, 31});
+  EXPECT_TRUE(RelationsEqual(serial, parallel));
+  EXPECT_EQ(serial.size(), 17u * 23u * 31u);
+}
+
+TEST_F(ShardedGeneratorTest, UniformInstanceIsThreadCountInvariant) {
+  Hypergraph triangle = catalog::Triangle();
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    ThreadPool::SetGlobalThreads(1);
+    Rng serial_rng(seed);
+    Instance serial = workload::UniformInstance(triangle, 2000, 500, &serial_rng);
+    ThreadPool::SetGlobalThreads(4);
+    Rng parallel_rng(seed);
+    Instance parallel = workload::UniformInstance(triangle, 2000, 500, &parallel_rng);
+    ASSERT_EQ(serial.num_relations(), parallel.num_relations());
+    for (size_t e = 0; e < serial.num_relations(); ++e) {
+      EXPECT_TRUE(RelationsEqual(serial[static_cast<EdgeId>(e)],
+                                 parallel[static_cast<EdgeId>(e)]))
+          << "seed " << seed << " relation " << e;
+    }
+  }
+}
+
+TEST_F(ShardedGeneratorTest, BoxJoinHardInstanceIsThreadCountInvariant) {
+  Hypergraph box = catalog::BoxJoin();
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    ThreadPool::SetGlobalThreads(1);
+    lowerbound::HardInstance serial = lowerbound::BoxJoinHardInstance(box, 4096, seed);
+    ThreadPool::SetGlobalThreads(4);
+    lowerbound::HardInstance parallel = lowerbound::BoxJoinHardInstance(box, 4096, seed);
+    EXPECT_EQ(serial.domain_sizes, parallel.domain_sizes);
+    ASSERT_EQ(serial.instance.num_relations(), parallel.instance.num_relations());
+    for (size_t e = 0; e < serial.instance.num_relations(); ++e) {
+      EXPECT_TRUE(RelationsEqual(serial.instance[static_cast<EdgeId>(e)],
+                                 parallel.instance[static_cast<EdgeId>(e)]))
+          << "seed " << seed << " relation " << e;
+    }
+  }
+}
+
+TEST_F(ShardedGeneratorTest, DegreeTwoHardInstanceIsThreadCountInvariant) {
+  Hypergraph box = catalog::BoxJoin();
+  PackingProvability witness = lowerbound::BoxJoinWitness(box);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    ThreadPool::SetGlobalThreads(1);
+    lowerbound::HardInstance serial =
+        lowerbound::DegreeTwoHardInstance(box, witness, 4096, seed);
+    ThreadPool::SetGlobalThreads(4);
+    lowerbound::HardInstance parallel =
+        lowerbound::DegreeTwoHardInstance(box, witness, 4096, seed);
+    ASSERT_EQ(serial.instance.num_relations(), parallel.instance.num_relations());
+    for (size_t e = 0; e < serial.instance.num_relations(); ++e) {
+      EXPECT_TRUE(RelationsEqual(serial.instance[static_cast<EdgeId>(e)],
+                                 parallel.instance[static_cast<EdgeId>(e)]))
+          << "seed " << seed << " relation " << e;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coverpack
