@@ -100,7 +100,7 @@ int RunDriver(const DriverOptions& options) {
       // identical to the parallel one below, wall-clock aside.
       ThreadPool::SetGlobalThreads(1);
       auto serial_start = std::chrono::steady_clock::now();
-      telemetry::RunReport serial_report = experiment->run(*experiment);
+      telemetry::RunReport serial_report = RunExperiment(*experiment);
       auto serial_end = std::chrono::steady_clock::now();
       wall_ms_serial =
           std::chrono::duration<double, std::milli>(serial_end - serial_start).count();
@@ -108,7 +108,7 @@ int RunDriver(const DriverOptions& options) {
     }
     ThreadPool::SetGlobalThreads(threads);
     auto start = std::chrono::steady_clock::now();
-    telemetry::RunReport report = experiment->run(*experiment);
+    telemetry::RunReport report = RunExperiment(*experiment);
     auto end = std::chrono::steady_clock::now();
     report.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
     report.threads = threads;

@@ -5,6 +5,8 @@
 #include <iostream>
 
 #include "experiments/runners.h"
+#include "mpc/exchange.h"
+#include "telemetry/exchange_metrics.h"
 #include "telemetry/metrics.h"
 
 namespace coverpack {
@@ -103,8 +105,15 @@ int RunExperimentStandalone(const std::string& id) {
     std::cerr << "unknown experiment id: " << id << "\n";
     return 2;
   }
-  telemetry::RunReport report = experiment->run(*experiment);
+  telemetry::RunReport report = RunExperiment(*experiment);
   return report.ok ? 0 : 1;
+}
+
+telemetry::RunReport RunExperiment(const Experiment& experiment) {
+  mpc::ExchangeTelemetry::Reset();
+  telemetry::RunReport report = experiment.run(experiment);
+  telemetry::SnapshotExchangeTelemetryInto(&report.metrics);
+  return report;
 }
 
 void ProfileRun(telemetry::RunReport& report, const std::string& name,

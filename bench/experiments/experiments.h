@@ -49,6 +49,13 @@ bool ExperimentMatchesFilter(const Experiment& experiment, const std::string& fi
 /// per-experiment wrapper binaries; does not write JSON.
 int RunExperimentStandalone(const std::string& id);
 
+/// Runs one experiment with exchange instrumentation: resets the
+/// process-global ExchangeTelemetry, invokes the run function, and
+/// snapshots the "exchange.*" metrics into the report (EXPERIMENTS.md
+/// documents the keys). All drivers go through this so every
+/// BENCH_results.json row carries the exchange profile of its run.
+telemetry::RunReport RunExperiment(const Experiment& experiment);
+
 /// Seeds a RunReport with the experiment's identity. Every run function
 /// starts with this, so the registry row is the single source of truth.
 inline telemetry::RunReport MakeReport(const Experiment& experiment) {

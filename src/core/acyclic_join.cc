@@ -7,6 +7,7 @@
 
 #include "core/load_planner.h"
 #include "mpc/cluster.h"
+#include "mpc/exchange.h"
 #include "mpc/primitives.h"
 #include "query/decomposition.h"
 #include "query/join_tree.h"
@@ -112,12 +113,16 @@ std::pair<Hypergraph, Instance> ReduceStep(const Hypergraph& query, const JoinTr
   return {std::move(new_query), std::move(new_instance)};
 }
 
-/// Charges ceil(size/p) to every server: the receive cost of distributing
-/// a fresh subinstance round-robin over a child group.
+/// Charges ceil(size/p) per relation to every server: the receive cost of
+/// distributing a fresh subinstance round-robin over a child group. One
+/// Exchange accumulating the per-relation linear charges.
 void ChargeInputScatter(Cluster* cluster, const Instance& instance, uint32_t round) {
+  mpc::ExchangePlan plan(cluster->p());
   for (size_t e = 0; e < instance.num_relations(); ++e) {
-    mpc::ChargeLinear(cluster, instance[e].size(), round);
+    plan.PlanLinear(instance[e].size());
   }
+  if (plan.total_planned() == 0) return;
+  mpc::Exchange::Execute(cluster, round, plan, "input_scatter");
 }
 
 SubRun MakeEmptyRun(AttrSet schema) {
@@ -477,7 +482,7 @@ SubRun Engine::CaseOne(const Hypergraph& query, const Instance& instance, const 
     run.results = Relation(query.AllAttrs());
     for (const Relation& part : child_results) {
       CP_CHECK(part.attrs() == run.results.attrs());
-      for (size_t i = 0; i < part.size(); ++i) run.results.AppendRow(part.row(i));
+      run.results.AppendAll(part);
     }
   }
   return run;

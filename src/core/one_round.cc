@@ -243,9 +243,7 @@ OneRoundResult ComputeOneRoundSkewAware(const Hypergraph& query, const Instance&
           // The bindings restore every attribute removed along the residual
           // chain, so the schema is back to the full query's.
           if (out.local.attrs() == result.results.attrs()) {
-            for (size_t i = 0; i < out.local.size(); ++i) {
-              result.results.AppendRow(out.local.row(i));
-            }
+            result.results.AppendAll(out.local);
             result.output_count += out.local.size();
           } else if (!out.local.empty()) {
             CP_CHECK(false) << "one-round result schema mismatch";

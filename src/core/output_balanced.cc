@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "mpc/cluster.h"
+#include "mpc/exchange.h"
 #include "mpc/primitives.h"
 #include "query/join_tree.h"
 #include "relation/operators.h"
@@ -153,7 +154,9 @@ OutputBalancedResult ComputeOutputBalanced(const Hypergraph& query, const Instan
     // Root slice.
     Instance needed(query);
     Relation root_slice(reduced[root].attrs());
-    for (size_t i = begin; i < end; ++i) root_slice.AppendRow(reduced[root].row(i));
+    // The slice is a contiguous row range: one bulk copy.
+    root_slice.AppendRows(reduced[root].raw().data() + begin * reduced[root].width(),
+                          end - begin);
     out.receives.push_back(root_slice.size());
     needed[root] = std::move(root_slice);
     // Downward: each child restricted to tuples joining the parent slice.
@@ -165,16 +168,18 @@ OutputBalancedResult ComputeOutputBalanced(const Hypergraph& query, const Instan
     }
     if (options.collect) out.local = GenericJoin(query, needed);
   });
+  mpc::ExchangePlan plan(p);
   for (uint32_t k = 0; k < p; ++k) {
     ServerOutcome& out = per_server_out[k];
-    for (uint64_t amount : out.receives) cluster.tracker().Add(round, k, amount);
+    for (uint64_t amount : out.receives) plan.PlanReceive(k, amount);
     if (options.collect && !out.receives.empty()) {
       if (result.results.attrs() != query.AllAttrs()) {
         result.results = Relation(query.AllAttrs());
       }
-      for (size_t i = 0; i < out.local.size(); ++i) result.results.AppendRow(out.local.row(i));
+      result.results.AppendAll(out.local);
     }
   }
+  mpc::Exchange::Execute(&cluster, round, plan, "output_slices");
   round += 1;
 
   if (options.collect) {

@@ -35,9 +35,8 @@ class DistRelation {
   /// dedicated O(N/p) primitives).
   Relation Gather() const {
     Relation all(attrs_);
-    for (const auto& shard : shards_) {
-      for (size_t i = 0; i < shard.size(); ++i) all.AppendRow(shard.row(i));
-    }
+    all.Reserve(TotalSize());
+    for (const auto& shard : shards_) all.AppendAll(shard);
     return all;
   }
 

@@ -1,0 +1,153 @@
+#include "mpc/exchange.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/audit.h"
+
+namespace coverpack {
+namespace mpc {
+
+namespace {
+
+/// Process-global telemetry state. Plain values under one mutex rather
+/// than a MetricsRegistry: registries enforce a single-owner mutation
+/// audit, while exchanges legitimately execute from both the main thread
+/// and pool tasks. One sample pair per Execute call — exchanges happen per
+/// primitive per round, so the sample vectors stay small.
+struct TelemetryState {
+  std::mutex mutex;
+  uint64_t count = 0;
+  uint64_t tuples_moved = 0;
+  uint64_t max_fanin = 0;
+  std::map<std::string, ExchangeTelemetrySnapshot::LabelAggregate> by_label;
+  std::vector<double> tuples_samples;  // planned volume per exchange
+  std::vector<double> skew_samples;    // max receive / mean receive per exchange
+};
+
+TelemetryState& State() {
+  static TelemetryState state;
+  return state;
+}
+
+}  // namespace
+
+ExchangeStats Exchange::Execute(Cluster* cluster, uint32_t round, const ExchangePlan& plan,
+                                const ExchangeSink& sink, const char* label) {
+  if (cluster != nullptr) CP_CHECK_LE(plan.num_servers_, cluster->p());
+  ExchangeStats stats;
+  stats.planned = plan.total_planned_;
+  stats.max_receive = plan.MaxPlannedReceive();
+
+  // Delivery: replay each recorded source's routes in ascending
+  // (shard, route) order — the order AddSource planned them in, which is
+  // thread-count invariant. Destinations are fetched once per server and
+  // reserved ahead; runs of consecutive rows bound for the same server
+  // coalesce into one flat AppendRows copy.
+  std::vector<uint64_t> counts;
+  std::vector<Relation*> dests;
+  for (size_t src = 0; src < plan.sources_.size(); ++src) {
+    const ExchangePlan::Source& source = plan.sources_[src];
+    if (source.relation == nullptr) continue;
+    CP_CHECK(sink != nullptr);
+    const uint32_t width = source.relation->width();
+    const Value* base = source.relation->raw().data();
+    counts.assign(plan.num_servers_, 0);
+    for (const auto& routes : source.shard_routes) {
+      for (const ExchangePlan::Route& r : routes) ++counts[r.server];
+    }
+    dests.assign(plan.num_servers_, nullptr);
+    for (uint32_t s = 0; s < plan.num_servers_; ++s) {
+      if (counts[s] == 0) continue;
+      Relation* dest = sink(src, s);
+      CP_CHECK(dest != nullptr);
+      dest->Reserve(dest->size() + counts[s]);
+      dests[s] = dest;
+    }
+    for (const auto& routes : source.shard_routes) {
+      const size_t n = routes.size();
+      size_t k = 0;
+      while (k < n) {
+        const uint32_t server = routes[k].server;
+        const size_t first_row = routes[k].row;
+        size_t run = 1;
+        while (k + run < n && routes[k + run].server == server &&
+               routes[k + run].row == first_row + run) {
+          ++run;
+        }
+        dests[server]->AppendRows(base + first_row * width, run);
+        stats.delivered += run;
+        k += run;
+      }
+    }
+  }
+  CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyExchange(plan.recorded_planned_, stats.delivered,
+                                                        label);)
+
+  // Charging: exactly once per server for the round. Zero amounts are
+  // skipped — a zero Add would still grow the tracker's round list, giving
+  // a different tracker shape than a path that never charged.
+  if (cluster != nullptr) {
+    CP_AUDIT_ONLY(const uint64_t volume_before = cluster->tracker().TotalCommunication();)
+    LoadTracker& tracker = cluster->tracker();
+    for (uint32_t s = 0; s < plan.num_servers_; ++s) {
+      const uint64_t amount = plan.PlannedReceive(s);
+      if (amount == 0) continue;
+      tracker.Add(round, s, amount);
+      stats.charged += amount;
+    }
+    CP_AUDIT_EQ(stats.charged, plan.total_planned_);
+    CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyConservation(
+        volume_before, stats.charged, cluster->tracker().TotalCommunication(), label);)
+  }
+
+  ExchangeTelemetry::Record(label, stats, plan.num_servers_);
+  return stats;
+}
+
+void ExchangeTelemetry::Reset() {
+  TelemetryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.count = 0;
+  state.tuples_moved = 0;
+  state.max_fanin = 0;
+  state.by_label.clear();
+  state.tuples_samples.clear();
+  state.skew_samples.clear();
+}
+
+void ExchangeTelemetry::Record(const char* label, const ExchangeStats& stats,
+                               uint32_t num_servers) {
+  TelemetryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  ++state.count;
+  state.tuples_moved += stats.planned;
+  state.max_fanin = std::max(state.max_fanin, stats.max_receive);
+  ExchangeTelemetrySnapshot::LabelAggregate& agg = state.by_label[label];
+  ++agg.count;
+  agg.tuples_moved += stats.planned;
+  state.tuples_samples.push_back(static_cast<double>(stats.planned));
+  // Skew of the fan-in: max planned receive over the mean planned receive.
+  // 1.0 = perfectly balanced; recorded only for exchanges that moved data.
+  if (stats.planned > 0) {
+    const double mean = static_cast<double>(stats.planned) / num_servers;
+    state.skew_samples.push_back(static_cast<double>(stats.max_receive) / mean);
+  }
+}
+
+ExchangeTelemetrySnapshot ExchangeTelemetry::Snapshot() {
+  TelemetryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  ExchangeTelemetrySnapshot snapshot;
+  snapshot.count = state.count;
+  snapshot.tuples_moved = state.tuples_moved;
+  snapshot.max_fanin = state.max_fanin;
+  snapshot.by_label.assign(state.by_label.begin(), state.by_label.end());
+  snapshot.tuples_samples = state.tuples_samples;
+  snapshot.skew_samples = state.skew_samples;
+  return snapshot;
+}
+
+}  // namespace mpc
+}  // namespace coverpack

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "lp/simplex.h"
+#include "mpc/exchange.h"
 #include "relation/oracle.h"
 #include "util/audit.h"
 #include "util/hash.h"
@@ -15,11 +16,6 @@ namespace coverpack {
 namespace mpc {
 
 namespace {
-
-/// Rows per routing shard. Fixed (never derived from the thread count) so
-/// the shard decomposition — and therefore every merge order — is identical
-/// at any parallelism level.
-constexpr size_t kRouteGrain = 2048;
 
 /// Per-attribute salted hash for grid coordinates.
 uint32_t CoordinateHash(AttrId attr, Value value, uint32_t extent) {
@@ -193,12 +189,14 @@ HypercubeResult HypercubeJoin(Cluster* cluster, const Hypergraph& query,
   }
   CP_CHECK_EQ(extent, shares.grid_size);
 
-  // Route every tuple of every relation to all consistent grid cells.
+  // Route every tuple of every relation to all consistent grid cells: one
+  // Exchange over the grid with one routed source per relation. In collect
+  // mode the routes are recorded and Execute delivers the rows; otherwise
+  // only per-cell receive counts are planned (charge-only routing).
   std::vector<Instance> per_server;
   if (collect) per_server.assign(shares.grid_size, Instance(query));
-  std::vector<uint64_t> receives(shares.grid_size, 0);
-  CP_AUDIT_ONLY(uint64_t expected_receives = 0;
-                const uint64_t tracker_before = cluster->tracker().TotalCommunication();)
+  ExchangePlan plan(static_cast<uint32_t>(shares.grid_size));
+  CP_AUDIT_ONLY(uint64_t expected_receives = 0;)
 
   for (uint32_t e = 0; e < query.num_edges(); ++e) {
     const Relation& relation = instance[e];
@@ -224,10 +222,6 @@ HypercubeResult HypercubeJoin(Cluster* cluster, const Hypergraph& query,
       bound.push_back(v);
       cols.push_back(relation.ColumnOf(v));
     }
-    // Route rows in parallel over fixed-size shards. Each shard emits into
-    // private buffers; shards are merged in ascending shard order below, so
-    // `receives` and the per-cell append order are byte-identical to the
-    // serial path at any thread count.
     auto route_row = [&](size_t i, const auto& emit) {
       auto row = relation.row(i);
       uint64_t base = 0;
@@ -245,62 +239,29 @@ HypercubeResult HypercubeJoin(Cluster* cluster, const Hypergraph& query,
         emit(cell);
       }
     };
-
-    ThreadPool& pool = ThreadPool::Global();
-    size_t num_route_shards = ThreadPool::NumShards(0, relation.size(), kRouteGrain);
-    if (collect) {
-      // Collect mode must reproduce the serial per-cell append order, so
-      // each shard records its (cell, row) routes in row order and the
-      // replay below walks shards in ascending order.
-      std::vector<std::vector<std::pair<uint64_t, size_t>>> shard_routes(num_route_shards);
-      pool.ParallelForShards(
-          0, relation.size(), kRouteGrain,
-          [&](size_t shard_begin, size_t shard_end, size_t shard) {
-            shard_end = std::min(shard_end, relation.size());
-            auto& routes = shard_routes[shard];
-            routes.reserve((shard_end - shard_begin) * free_combos);
-            for (size_t i = shard_begin; i < shard_end; ++i) {
-              route_row(i, [&](uint64_t cell) { routes.emplace_back(cell, i); });
-            }
-          });
-      for (const auto& routes : shard_routes) {
-        for (const auto& [cell, i] : routes) {
-          ++receives[cell];
-          per_server[cell][e].AppendRow(relation.row(i));
-        }
-      }
-    } else {
-      std::vector<std::vector<uint64_t>> shard_receives(num_route_shards);
-      pool.ParallelForShards(
-          0, relation.size(), kRouteGrain,
-          [&](size_t shard_begin, size_t shard_end, size_t shard) {
-            shard_end = std::min(shard_end, relation.size());
-            auto& local = shard_receives[shard];
-            local.assign(shares.grid_size, 0);
-            for (size_t i = shard_begin; i < shard_end; ++i) {
-              route_row(i, [&](uint64_t cell) { ++local[cell]; });
-            }
-          });
-      for (const auto& local : shard_receives) {
-        for (uint64_t cell = 0; cell < local.size(); ++cell) receives[cell] += local[cell];
-      }
-    }
+    // Source index == edge index: AddSource is called once per edge, in
+    // edge order, so the sink below can key destinations by edge.
+    plan.AddSource(relation, /*record=*/collect, route_row, free_combos);
   }
 
   HypercubeResult result;
-  for (uint32_t s = 0; s < shares.grid_size; ++s) {
-    if (receives[s] != 0) cluster->tracker().Add(round, s, receives[s]);
-    result.max_receive_load = std::max(result.max_receive_load, receives[s]);
+  ExchangeStats stats;
+  if (collect) {
+    // Delivery replays routes in ascending (edge, shard, row) order — the
+    // per-cell append order of the serial path.
+    stats = Exchange::Execute(
+        cluster, round, plan,
+        [&per_server](size_t edge, uint32_t cell) { return &per_server[cell][edge]; },
+        "hypercube");
+  } else {
+    stats = Exchange::Execute(cluster, round, plan, "hypercube");
   }
+  result.max_receive_load = stats.max_receive;
   // Routing conservation: the grid received exactly size(e) * free_combos(e)
-  // tuples per relation, and the tracker was charged exactly that volume.
-  CP_AUDIT_ONLY(
-      uint64_t total_received = 0; for (uint64_t r : receives) total_received += r;
-      audit::SimulatorAuditor::VerifyExchange(expected_receives, total_received,
-                                              "HypercubeJoin routing");
-      audit::SimulatorAuditor::VerifyConservation(tracker_before, total_received,
-                                                  cluster->tracker().TotalCommunication(),
-                                                  "HypercubeJoin tracker charge");)
+  // tuples per relation. (The planned == charged half of the invariant is
+  // audited inside Exchange::Execute.)
+  CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyExchange(expected_receives, stats.planned,
+                                                        "HypercubeJoin routing");)
 
   if (collect) {
     result.results = DistRelation(query.AllAttrs(), cluster->p());

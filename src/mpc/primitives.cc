@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mpc/exchange.h"
 #include "relation/operators.h"
 #include "util/audit.h"
 #include "util/hash.h"
@@ -35,57 +36,41 @@ DistRelation HashPartition(Cluster* cluster, const DistRelation& input, AttrSet 
   for (AttrId attr : key.ToVector()) {
     cols.push_back(schema.ColumnOf(attr));
   }
-  // Hash every row's target in parallel (the hashing dominates), then
-  // append serially in (shard, row) order so each output shard's row order
-  // is byte-identical to the serial path.
+  // One Exchange with one routed source per input shard: the route hashing
+  // runs shard-parallel inside the plan phase; Execute delivers in
+  // ascending (input shard, row) order, so each output shard's row order
+  // is byte-identical to the serial path. Charging and the conservation
+  // audit (tuples planned == delivered == charged) happen at the Exchange
+  // choke point.
+  ExchangePlan plan(p);
   for (uint32_t s = 0; s < input.num_shards(); ++s) {
     const Relation& shard = input.shard(s);
-    std::vector<uint32_t> targets(shard.size());
-    ThreadPool::Global().ParallelFor(0, shard.size(), 4096, [&](size_t i) {
-      targets[i] = static_cast<uint32_t>(KeyHashOfRow(shard, i, cols) % p);
+    plan.AddSource(shard, /*record=*/true, [&shard, &cols, p](size_t i, auto emit) {
+      emit(KeyHashOfRow(shard, i, cols) % p);
     });
-    for (size_t i = 0; i < shard.size(); ++i) {
-      output.shard(targets[i]).AppendRow(shard.row(i));
-    }
   }
-  CP_AUDIT_ONLY(const uint64_t tracker_before = cluster->tracker().TotalCommunication();)
-  for (uint32_t s = 0; s < p; ++s) {
-    if (!output.shard(s).empty()) {
-      cluster->tracker().Add(round, s, output.shard(s).size());
-    }
-  }
-  // Repartitioning may neither drop nor duplicate tuples, and the tracker
-  // must be charged exactly the volume that changed hands.
-  CP_AUDIT_ONLY(
-      audit::SimulatorAuditor::VerifyExchange(input.TotalSize(), output.TotalSize(),
-                                              "HashPartition");
-      audit::SimulatorAuditor::VerifyConservation(tracker_before, output.TotalSize(),
-                                                  cluster->tracker().TotalCommunication(),
-                                                  "HashPartition tracker charge");)
+  const ExchangeStats stats = Exchange::Execute(
+      cluster, round, plan,
+      [&output](size_t, uint32_t server) { return &output.shard(server); }, "hash_partition");
+  // Repartitioning may neither drop nor duplicate tuples.
+  CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyExchange(input.TotalSize(), stats.delivered,
+                                                        "HashPartition");)
+  (void)stats;
   return output;
 }
 
 void ChargeBroadcast(Cluster* cluster, size_t data_size, uint32_t round) {
   if (data_size == 0) return;
-  CP_AUDIT_ONLY(const uint64_t tracker_before = cluster->tracker().TotalCommunication();)
-  for (uint32_t s = 0; s < cluster->p(); ++s) {
-    cluster->tracker().Add(round, s, data_size);
-  }
-  CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyConservation(
-      tracker_before, static_cast<uint64_t>(data_size) * cluster->p(),
-      cluster->tracker().TotalCommunication(), "ChargeBroadcast");)
+  ExchangePlan plan(cluster->p());
+  plan.PlanBroadcast(data_size);
+  Exchange::Execute(cluster, round, plan, "broadcast");
 }
 
 void ChargeLinear(Cluster* cluster, uint64_t total_items, uint32_t round) {
   if (total_items == 0) return;
-  uint64_t per_server = CeilDiv(total_items, cluster->p());
-  CP_AUDIT_ONLY(const uint64_t tracker_before = cluster->tracker().TotalCommunication();)
-  for (uint32_t s = 0; s < cluster->p(); ++s) {
-    cluster->tracker().Add(round, s, per_server);
-  }
-  CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyConservation(
-      tracker_before, per_server * cluster->p(), cluster->tracker().TotalCommunication(),
-      "ChargeLinear");)
+  ExchangePlan plan(cluster->p());
+  plan.PlanLinear(total_items);
+  Exchange::Execute(cluster, round, plan, "linear");
 }
 
 std::unordered_map<Value, uint64_t> DegreeByValue(Cluster* cluster, const DistRelation& input,

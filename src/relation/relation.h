@@ -31,8 +31,11 @@ class Relation {
 
   AttrSet attrs() const { return attrs_; }
   uint32_t width() const { return width_; }
-  size_t size() const { return width_ == 0 ? (data_.empty() ? 0 : 1) : data_.size() / width_; }
-  bool empty() const { return size() == 0; }
+  /// Number of rows. Stored explicitly so nullary (zero-width) relations —
+  /// boolean subquery results, whose rows carry no values — count their
+  /// empty tuples like any other schema.
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
 
   /// Row access: `width()` values ordered by ascending AttrId.
   std::span<const Value> row(size_t i) const {
@@ -42,11 +45,25 @@ class Relation {
   /// Appends a row; values must be ordered by ascending AttrId of the schema.
   void AppendRow(std::span<const Value> values) {
     CP_DCHECK(values.size() == width_);
-    data_.insert(data_.end(), values.begin(), values.end());
+    AppendRows(values.data(), 1);
   }
 
   void AppendRow(std::initializer_list<Value> values) {
     AppendRow(std::span<const Value>(values.begin(), values.size()));
+  }
+
+  /// Appends `count` rows stored contiguously at `values` (count * width()
+  /// values, same layout as raw()). The bulk path of the Exchange layer and
+  /// of result concatenation: one insert instead of per-row copies.
+  void AppendRows(const Value* values, size_t count) {
+    if (width_ != 0) data_.insert(data_.end(), values, values + count * size_t{width_});
+    num_rows_ += count;
+  }
+
+  /// Appends every row of `other`, which must share this schema.
+  void AppendAll(const Relation& other) {
+    CP_DCHECK(other.width_ == width_);
+    AppendRows(other.data_.data(), other.num_rows_);
   }
 
   /// Index of an attribute within a row, i.e. its rank in the schema.
@@ -61,7 +78,10 @@ class Relation {
   Value At(size_t i, AttrId attr) const { return row(i)[ColumnOf(attr)]; }
 
   void Reserve(size_t rows) { data_.reserve(rows * width_); }
-  void Clear() { data_.clear(); }
+  void Clear() {
+    data_.clear();
+    num_rows_ = 0;
+  }
 
   /// Removes duplicate rows (sorts internally).
   void Dedup();
@@ -75,12 +95,14 @@ class Relation {
   /// Renders up to `limit` rows for debugging.
   std::string ToString(size_t limit = 20) const;
 
+  /// Flat row storage: size() * width() values, rows consecutive. Mutation
+  /// goes through AppendRow/AppendRows so the row count stays in sync.
   const std::vector<Value>& raw() const { return data_; }
-  std::vector<Value>* mutable_raw() { return &data_; }
 
  private:
   AttrSet attrs_;
   uint32_t width_ = 0;
+  size_t num_rows_ = 0;
   std::vector<Value> data_;
 };
 

@@ -1,0 +1,31 @@
+#include "telemetry/exchange_metrics.h"
+
+#include <vector>
+
+#include "mpc/exchange.h"
+
+namespace coverpack {
+namespace telemetry {
+
+void SnapshotExchangeTelemetryInto(MetricsRegistry* registry) {
+  static const std::vector<double> kTupleBounds = {1.0, 10.0, 100.0, 1000.0,
+                                                   1e4, 1e5,  1e6,   1e7};
+  static const std::vector<double> kSkewBounds = {1.0,  2.0,  4.0,  8.0,
+                                                  16.0, 32.0, 64.0, 128.0};
+  const mpc::ExchangeTelemetrySnapshot snapshot = mpc::ExchangeTelemetry::Snapshot();
+  if (snapshot.count == 0) return;
+  registry->AddCounter("exchange.count", snapshot.count);
+  registry->AddCounter("exchange.tuples_moved", snapshot.tuples_moved);
+  registry->SetGauge("exchange.max_fanin", static_cast<double>(snapshot.max_fanin));
+  for (const auto& [label, agg] : snapshot.by_label) {
+    registry->AddCounter("exchange." + label + ".count", agg.count);
+    registry->AddCounter("exchange." + label + ".tuples_moved", agg.tuples_moved);
+  }
+  Histogram& tuples = registry->GetHistogram("exchange.tuples_per_exchange", kTupleBounds);
+  for (double v : snapshot.tuples_samples) tuples.Observe(v);
+  Histogram& skew = registry->GetHistogram("exchange.fanin_skew", kSkewBounds);
+  for (double v : snapshot.skew_samples) skew.Observe(v);
+}
+
+}  // namespace telemetry
+}  // namespace coverpack

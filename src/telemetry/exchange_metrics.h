@@ -1,0 +1,30 @@
+/// \file exchange_metrics.h
+/// \brief Bridges the Exchange layer's process-global telemetry into a
+/// MetricsRegistry (and therefore into RunReport / BENCH_results.json).
+///
+/// Lives in the telemetry library, not in mpc/exchange.cc, because the
+/// dependency points this way: cp_telemetry links cp_mpc. The Exchange
+/// layer exposes a plain-struct snapshot; this translates it into the
+/// "exchange.*" metric keys documented in EXPERIMENTS.md.
+
+#ifndef COVERPACK_TELEMETRY_EXCHANGE_METRICS_H_
+#define COVERPACK_TELEMETRY_EXCHANGE_METRICS_H_
+
+#include "telemetry/metrics.h"
+
+namespace coverpack {
+namespace telemetry {
+
+/// Writes the current ExchangeTelemetry aggregate into `registry`:
+/// counters "exchange.count", "exchange.tuples_moved" and their per-label
+/// variants "exchange.<label>.{count,tuples_moved}", gauge
+/// "exchange.max_fanin", and histograms "exchange.tuples_per_exchange" and
+/// "exchange.fanin_skew". No-op when no exchange has executed since the
+/// last ExchangeTelemetry::Reset(), so reports without data movement keep
+/// their schema unchanged. Call from the thread that owns `registry`.
+void SnapshotExchangeTelemetryInto(MetricsRegistry* registry);
+
+}  // namespace telemetry
+}  // namespace coverpack
+
+#endif  // COVERPACK_TELEMETRY_EXCHANGE_METRICS_H_

@@ -25,6 +25,8 @@
 #include "core/acyclic_join.h"
 #include "core/one_round.h"
 #include "experiments/experiments.h"
+#include "mpc/cluster.h"
+#include "mpc/exchange.h"
 #include "mpc/load_tracker.h"
 #include "query/catalog.h"
 #include "relation/instance.h"
@@ -117,11 +119,82 @@ TEST_F(DeterminismTest, FastExperimentsAreBitIdenticalAcrossThreadCounts) {
     if (!experiment.fast) continue;
     SCOPED_TRACE(experiment.id);
     ThreadPool::SetGlobalThreads(1);
-    telemetry::RunReport serial = experiment.run(experiment);
+    telemetry::RunReport serial = bench::RunExperiment(experiment);
     ThreadPool::SetGlobalThreads(4);
-    telemetry::RunReport parallel = experiment.run(experiment);
+    telemetry::RunReport parallel = bench::RunExperiment(experiment);
     EXPECT_EQ(serial.ok, parallel.ok);
     EXPECT_EQ(MaskTimers(ReportJson(serial)), MaskTimers(ReportJson(parallel)));
+  }
+}
+
+/// One randomized exchange: routes `data` over p servers with a seeded,
+/// index-determined route function (occasional replication), executes it,
+/// and returns the delivered shards plus the cluster tracker and stats.
+struct ExchangeOutcome {
+  std::vector<Relation> shards;
+  LoadTracker tracker;
+  mpc::ExchangeStats stats;
+};
+
+ExchangeOutcome RunRandomExchange(const Relation& data, uint32_t p, uint64_t salt) {
+  Cluster cluster(p);
+  std::vector<Relation> shards(p, Relation(data.attrs()));
+  mpc::ExchangePlan plan = mpc::Exchange::Plan(
+      p, data,
+      [p, salt](size_t i, auto emit) {
+        uint64_t h = SplitSeed(salt, i);
+        emit(h % p);
+        if ((h >> 32) % 4 == 0) emit((h >> 16) % p);  // ~25% of rows replicate
+      },
+      /*record=*/true, /*emits_per_row_hint=*/2);
+  mpc::ExchangeStats stats = mpc::Exchange::Execute(
+      &cluster, 0, plan, [&shards](size_t, uint32_t s) { return &shards[s]; },
+      "determinism_property");
+  return {std::move(shards), cluster.tracker(), stats};
+}
+
+TEST_F(DeterminismTest, ExchangeConservesTuplesAndDeliversBitIdentically) {
+  // Property: for random relations, route functions, and cluster widths,
+  // the total tuples sent equal the sum of per-server tracker charges for
+  // the round, and delivery is bit-identical at 1 vs 4 threads. Relations
+  // span several routing shards (> 2 * kExchangeRouteGrain rows) so the
+  // parallel path genuinely exercises the shard merge.
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE(seed);
+    Rng rng(SplitSeed(0xC0FFEE, seed));
+    const uint32_t p = static_cast<uint32_t>(rng.UniformInRange(1, 13));
+    const uint32_t width = static_cast<uint32_t>(rng.UniformInRange(1, 4));
+    const size_t rows = static_cast<size_t>(rng.UniformInRange(1, 3 * 2048));
+    Relation data(AttrSet::FirstN(width));
+    std::vector<Value> row(width);
+    for (size_t i = 0; i < rows; ++i) {
+      for (uint32_t c = 0; c < width; ++c) row[c] = rng.Next();
+      data.AppendRow(std::span<const Value>(row));
+    }
+    const uint64_t salt = rng.Next();
+
+    ThreadPool::SetGlobalThreads(1);
+    ExchangeOutcome serial = RunRandomExchange(data, p, salt);
+    ThreadPool::SetGlobalThreads(4);
+    ExchangeOutcome parallel = RunRandomExchange(data, p, salt);
+
+    // Conservation: sent == delivered == charged == sum of tracker cells.
+    uint64_t tracker_sum = 0;
+    for (uint32_t s = 0; s < p; ++s) tracker_sum += serial.tracker.At(0, s);
+    EXPECT_EQ(serial.stats.delivered, serial.stats.planned);
+    EXPECT_EQ(serial.stats.charged, serial.stats.planned);
+    EXPECT_EQ(tracker_sum, serial.stats.planned);
+    uint64_t shard_sum = 0;
+    for (const Relation& shard : serial.shards) shard_sum += shard.size();
+    EXPECT_EQ(shard_sum, serial.stats.delivered);
+
+    // Thread-count invariance: same tracker, same shard bytes.
+    EXPECT_TRUE(TrackersEqual(serial.tracker, parallel.tracker));
+    ASSERT_EQ(serial.shards.size(), parallel.shards.size());
+    for (uint32_t s = 0; s < p; ++s) {
+      EXPECT_EQ(serial.shards[s].raw(), parallel.shards[s].raw());
+      EXPECT_EQ(serial.shards[s].size(), parallel.shards[s].size());
+    }
   }
 }
 

@@ -42,6 +42,62 @@ TEST(RelationTest, DedupAndCompare) {
   EXPECT_FALSE(r.SameContentAs(other));
 }
 
+TEST(RelationTest, NullaryRelationCountsEmptyTuples) {
+  // Regression: AppendRow({}) on a zero-width schema used to be a silent
+  // no-op (size() inferred 0-or-1 from the flat storage). Nullary relations
+  // are boolean subquery results and must count rows like any other schema.
+  Relation r((AttrSet()));
+  EXPECT_EQ(r.width(), 0u);
+  EXPECT_TRUE(r.empty());
+  r.AppendRow({});
+  r.AppendRow({});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_FALSE(r.empty());
+  r.Dedup();  // copies of the empty tuple dedup to one
+  EXPECT_EQ(r.size(), 1u);
+  r.Clear();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(RelationTest, NullarySameContentComparesRowCounts) {
+  Relation two((AttrSet())), also_two((AttrSet())), one((AttrSet()));
+  two.AppendRow({});
+  two.AppendRow({});
+  also_two.AppendRow({});
+  also_two.AppendRow({});
+  one.AppendRow({});
+  EXPECT_TRUE(two.SameContentAs(also_two));
+  EXPECT_FALSE(two.SameContentAs(one));
+}
+
+TEST(RelationTest, AppendRowsBulkMatchesPerRowAppends) {
+  Relation bulk = MakeAB();
+  Relation target(bulk.attrs());
+  target.AppendRows(bulk.raw().data(), bulk.size());
+  EXPECT_EQ(target.size(), 3u);
+  EXPECT_TRUE(target.SameContentAs(bulk));
+  // AppendAll concatenates whole relations.
+  target.AppendAll(bulk);
+  EXPECT_EQ(target.size(), 6u);
+  // Nullary bulk appends advance the row count too.
+  Relation nullary((AttrSet()));
+  nullary.AppendRows(nullptr, 4);
+  EXPECT_EQ(nullary.size(), 4u);
+}
+
+TEST(RelationTest, SortRowsOrdersLexicographically) {
+  Relation r(AttrSet::FromIds({0, 1}));
+  r.AppendRow({2, 10});
+  r.AppendRow({1, 11});
+  r.AppendRow({1, 10});
+  r.SortRows();
+  EXPECT_EQ(r.row(0)[0], 1u);
+  EXPECT_EQ(r.row(0)[1], 10u);
+  EXPECT_EQ(r.row(1)[1], 11u);
+  EXPECT_EQ(r.row(2)[0], 2u);
+}
+
 TEST(OperatorsTest, SelectAndSelectIn) {
   Relation r = MakeAB();
   Relation sel = Select(r, 0, 1);
