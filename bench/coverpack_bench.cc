@@ -11,9 +11,17 @@
 ///   coverpack_bench --out path.json # default: BENCH_results.json in CWD
 ///   coverpack_bench --threads=8     # pool size (default: hw concurrency)
 ///   coverpack_bench --compare-serial  # also time --threads=1, stamp speedup
+///   coverpack_bench --seed=123      # override every experiment's base seed
+///   coverpack_bench --crash-rate=0.05 --straggler-rate=0.25 \
+///                   --straggler-severity=8 --drop-rate=0.001 \
+///                   --dup-rate=0.001 --fault-seed=7 --max-attempts=4
+///                                   # run EVERYTHING under fault injection
 ///
 /// Results are bit-identical at any --threads value (shard-ordered merges +
-/// split Rng streams); only the wall-clock fields change.
+/// split Rng streams); only the wall-clock fields change. They are also
+/// bit-identical under any fault flags — fault injection recovers to the
+/// fault-free state and only adds fault.* / recovery.* metrics (see
+/// EXPERIMENTS.md).
 ///
 /// Exit status: 0 iff every selected experiment reproduces its claim
 /// (verdict SHAPE-REPRODUCED); 1 on any DEVIATION; 2 on usage errors or
@@ -23,11 +31,14 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "experiments/experiments.h"
+#include "experiments/runners.h"
+#include "resilience/fault_injector.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/run_report.h"
 #include "util/thread_pool.h"
@@ -43,11 +54,16 @@ struct DriverOptions {
   std::string out_path = "BENCH_results.json";
   unsigned threads = 0;  // 0 = hardware concurrency
   bool compare_serial = false;
+  uint64_t seed = 0;  // 0 = historical per-experiment seeds
+  resilience::FaultSpec faults;
 };
 
 int Usage(std::ostream& os, int code) {
   os << "usage: coverpack_bench [--list] [--fast] [--filter SUBSTR]... [--out PATH]\n"
-        "                       [--threads=N] [--compare-serial]\n"
+        "                       [--threads=N] [--compare-serial] [--seed=U]\n"
+        "                       [--crash-rate=R] [--drop-rate=R] [--dup-rate=R]\n"
+        "                       [--straggler-rate=R] [--straggler-severity=X]\n"
+        "                       [--fault-seed=U] [--max-attempts=N]\n"
         "  --list          list experiment ids and exit\n"
         "  --fast          run only the fast subset (the CI default)\n"
         "  --filter SUBSTR keep experiments whose id or display id contains\n"
@@ -58,7 +74,14 @@ int Usage(std::ostream& os, int code) {
         "  --threads=N     thread-pool size; results are bit-identical at\n"
         "                  any N (default: hardware concurrency)\n"
         "  --compare-serial  run each experiment at --threads=1 first and\n"
-        "                  record wall_ms_serial + speedup in the report\n";
+        "                  record wall_ms_serial + speedup in the report\n"
+        "  --seed=U        override every experiment's base seed (nonzero);\n"
+        "                  default: each experiment's historical fixed seeds\n"
+        "  --crash-rate=R --drop-rate=R --dup-rate=R --straggler-rate=R\n"
+        "  --straggler-severity=X --fault-seed=U --max-attempts=N\n"
+        "                  run every experiment under deterministic fault\n"
+        "                  injection; results stay bit-identical and the\n"
+        "                  recovery cost lands in fault.*/recovery.* metrics\n";
   return code;
 }
 
@@ -90,6 +113,13 @@ int RunDriver(const DriverOptions& options) {
   }
 
   unsigned threads = options.threads != 0 ? options.threads : ThreadPool::GlobalThreads();
+  SetExperimentBaseSeed(options.seed);
+  // With any fault flag set, the whole selection runs under the injector —
+  // including the serial reference runs, which still compare identical.
+  std::unique_ptr<resilience::ScopedFaultInjection> injection;
+  if (options.faults.active()) {
+    injection = std::make_unique<resilience::ScopedFaultInjection>(options.faults);
+  }
   std::vector<telemetry::RunReport> reports;
   reports.reserve(selected.size());
   for (const Experiment* experiment : selected) {
@@ -128,6 +158,18 @@ int RunDriver(const DriverOptions& options) {
   doc.Set("hardware_concurrency",
           static_cast<uint64_t>(std::thread::hardware_concurrency()));
   doc.Set("count", static_cast<uint64_t>(reports.size()));
+  if (options.seed != 0) doc.Set("base_seed", options.seed);
+  if (options.faults.active()) {
+    telemetry::JsonValue faults = telemetry::JsonValue::Object();
+    faults.Set("seed", options.faults.seed);
+    faults.Set("crash_rate", options.faults.crash_rate);
+    faults.Set("drop_rate", options.faults.drop_rate);
+    faults.Set("duplicate_rate", options.faults.duplicate_rate);
+    faults.Set("straggler_rate", options.faults.straggler_rate);
+    faults.Set("straggler_severity", options.faults.straggler_severity);
+    faults.Set("max_attempts", static_cast<uint64_t>(options.faults.max_attempts));
+    doc.Set("faults", std::move(faults));
+  }
   telemetry::JsonValue results = telemetry::JsonValue::Array();
   uint32_t reproduced = 0;
   std::cout << "==== coverpack_bench summary (threads=" << threads << ") ====\n";
@@ -197,6 +239,25 @@ int main(int argc, char** argv) {
       options.threads = static_cast<unsigned>(value);
     } else if (arg == "--compare-serial") {
       options.compare_serial = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      if (options.seed == 0) return coverpack::bench::Usage(std::cerr, 2);
+    } else if (arg.rfind("--crash-rate=", 0) == 0) {
+      options.faults.crash_rate = std::strtod(arg.c_str() + 13, nullptr);
+    } else if (arg.rfind("--drop-rate=", 0) == 0) {
+      options.faults.drop_rate = std::strtod(arg.c_str() + 12, nullptr);
+    } else if (arg.rfind("--dup-rate=", 0) == 0) {
+      options.faults.duplicate_rate = std::strtod(arg.c_str() + 11, nullptr);
+    } else if (arg.rfind("--straggler-rate=", 0) == 0) {
+      options.faults.straggler_rate = std::strtod(arg.c_str() + 17, nullptr);
+    } else if (arg.rfind("--straggler-severity=", 0) == 0) {
+      options.faults.straggler_severity = std::strtod(arg.c_str() + 21, nullptr);
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      options.faults.seed = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--max-attempts=", 0) == 0) {
+      long value = std::strtol(arg.c_str() + 15, nullptr, 10);
+      if (value < 1) return coverpack::bench::Usage(std::cerr, 2);
+      options.faults.max_attempts = static_cast<uint32_t>(value);
     } else if (arg == "--help" || arg == "-h") {
       return coverpack::bench::Usage(std::cout, 0);
     } else {

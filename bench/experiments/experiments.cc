@@ -6,8 +6,11 @@
 
 #include "experiments/runners.h"
 #include "mpc/exchange.h"
+#include "resilience/fault_injector.h"
 #include "telemetry/exchange_metrics.h"
 #include "telemetry/metrics.h"
+#include "telemetry/resilience_metrics.h"
+#include "util/hash.h"
 
 namespace coverpack {
 namespace bench {
@@ -71,6 +74,11 @@ const std::vector<Experiment>& AllExperiments() {
        "output-balanced O(N/p + OUT/p) vs Theorem 5's N/p^(1/rho*): crossover "
        "as OUT approaches the AGM bound",
        /*fast=*/false, &RunOutputSensitivity},
+      {"resilience_overhead", "Resilience overhead", "ResilienceOverhead",
+       "under injected crashes/stragglers results and loads stay bit-identical; "
+       "recovery resends at most one round's bottleneck load per crash and the "
+       "uniform-speed makespan keeps the N/p^(1/rho*) exponent",
+       /*fast=*/true, &RunResilienceOverhead},
   };
   return kExperiments;
 }
@@ -109,10 +117,30 @@ int RunExperimentStandalone(const std::string& id) {
   return report.ok ? 0 : 1;
 }
 
+namespace {
+
+/// The --seed override; 0 = unset (historical per-site seeds).
+uint64_t g_base_seed = 0;
+
+}  // namespace
+
+void SetExperimentBaseSeed(uint64_t seed) { g_base_seed = seed; }
+
+uint64_t ExperimentBaseSeed() { return g_base_seed; }
+
+uint64_t ExperimentSeed(uint64_t site_seed) {
+  return g_base_seed == 0 ? site_seed : HashCombine(g_base_seed, site_seed);
+}
+
 telemetry::RunReport RunExperiment(const Experiment& experiment) {
   mpc::ExchangeTelemetry::Reset();
+  resilience::ResilienceTelemetry::Reset();
   telemetry::RunReport report = experiment.run(experiment);
   telemetry::SnapshotExchangeTelemetryInto(&report.metrics);
+  // No-op unless this run executed exchanges under fault injection, so
+  // fault-free reports keep their schema byte-identical.
+  telemetry::SnapshotResilienceTelemetryInto(&report.metrics);
+  if (g_base_seed != 0) report.AddParam("base_seed", g_base_seed);
   return report;
 }
 

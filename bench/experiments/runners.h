@@ -12,6 +12,18 @@
 namespace coverpack {
 namespace bench {
 
+/// Base-seed override for experiment randomness — the driver's --seed
+/// flag. 0 = unset: every experiment keeps its historical fixed seeds, so
+/// default runs stay byte-identical run to run. When set, ExperimentSeed
+/// mixes the base into each call site's historical seed, giving every
+/// random stream a fresh but fully deterministic identity.
+void SetExperimentBaseSeed(uint64_t seed);
+uint64_t ExperimentBaseSeed();
+
+/// The seed an experiment call site should use: `site_seed` itself when no
+/// base override is set, HashCombine(base, site_seed) otherwise.
+uint64_t ExperimentSeed(uint64_t site_seed);
+
 telemetry::RunReport RunTable1Complexity(const Experiment& e);
 telemetry::RunReport RunFig1Classification(const Experiment& e);
 telemetry::RunReport RunFig2BoxJoin(const Experiment& e);
@@ -29,6 +41,7 @@ telemetry::RunReport RunIntroGap(const Experiment& e);
 telemetry::RunReport RunAblationPolicy(const Experiment& e);
 telemetry::RunReport RunEmReduction(const Experiment& e);
 telemetry::RunReport RunOutputSensitivity(const Experiment& e);
+telemetry::RunReport RunResilienceOverhead(const Experiment& e);
 
 }  // namespace bench
 }  // namespace coverpack

@@ -32,7 +32,7 @@ telemetry::RunReport RunThm2SubjoinLoad(const Experiment& e) {
   for (uint32_t p : {16u, 64u, 256u}) {
     for (const char* kind : {"random", "matching"}) {
       uint64_t n = 10000;
-      Rng rng(77);
+      Rng rng(ExperimentSeed(77));
       Instance instance = std::string(kind) == "random"
                               ? workload::UniformInstance(q, n, n / 10, &rng)
                               : workload::MatchingInstance(q, n);

@@ -28,7 +28,7 @@ telemetry::RunReport RunThm5RandomQueries(const Experiment& e) {
   uint32_t total = 0;
   report.AddParam("seeds", uint64_t{10});
   for (uint64_t seed = 1; seed <= 10; ++seed) {
-    Rng rng(seed * 48271);
+    Rng rng(ExperimentSeed(seed * 48271));
     workload::RandomAcyclicOptions options;
     options.min_edges = 3;
     options.max_edges = 6;

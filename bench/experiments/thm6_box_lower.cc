@@ -31,10 +31,11 @@ telemetry::RunReport RunThm6BoxLower(const Experiment& e) {
   Hypergraph box = catalog::BoxJoin();
   PackingProvability witness = lowerbound::BoxJoinWitness(box);
   uint64_t n = 32768;
-  lowerbound::HardInstance hard = lowerbound::BoxJoinHardInstance(box, n, /*seed=*/2021);
+  const uint64_t seed = ExperimentSeed(2021);
+  lowerbound::HardInstance hard = lowerbound::BoxJoinHardInstance(box, n, seed);
   n = hard.n;
   report.AddParam("N", n);
-  report.AddParam("seed", uint64_t{2021});
+  report.AddParam("seed", seed);
 
   // Output = |R1| * |R2| (every (a,b,c) joins every sampled (d,e,f);
   // verified by materialization at small N in the test suite).

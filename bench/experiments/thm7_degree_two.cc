@@ -80,8 +80,8 @@ telemetry::RunReport RunThm7DegreeTwo(const Experiment& e) {
     for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
       telemetry::MetricsRegistry::ScopedTimer timer(&report.metrics,
                                                     "emit_capacity/" + example.name);
-      lowerbound::HardInstance hard =
-          lowerbound::DegreeTwoHardInstance(example.query, example.witness, example.n, seed);
+      lowerbound::HardInstance hard = lowerbound::DegreeTwoHardInstance(
+          example.query, example.witness, example.n, ExperimentSeed(seed));
       uint64_t load = static_cast<uint64_t>(static_cast<double>(hard.n) /
                                             std::pow(static_cast<double>(p), 1.0 / tau));
       lowerbound::EmitCapacityResult r =

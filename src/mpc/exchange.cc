@@ -1,5 +1,6 @@
 #include "mpc/exchange.h"
 
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <string>
@@ -8,6 +9,116 @@
 
 namespace coverpack {
 namespace mpc {
+
+namespace {
+
+/// The process-global interposer (resilience fault injection). Installed
+/// and uninstalled only at quiescent points, so relaxed ordering suffices.
+std::atomic<ExchangeInterposer*> g_interposer{nullptr};
+
+}  // namespace
+
+ExchangeInterposer* ExchangeInterposer::Install(ExchangeInterposer* interposer) {
+  return g_interposer.exchange(interposer, std::memory_order_acq_rel);
+}
+
+ExchangeInterposer* ExchangeInterposer::Installed() {
+  return g_interposer.load(std::memory_order_acquire);
+}
+
+ExchangeDelivery::ExchangeDelivery(const ExchangePlan& plan, const ExchangeSink& sink,
+                                   uint32_t round, const char* label, bool charged)
+    : plan_(&plan), round_(round), label_(label), charged_(charged) {
+  // Resolve every destination exactly once (same sink contract as a
+  // fault-free delivery) and checkpoint its pre-exchange size. Reserve
+  // ahead for one clean attempt; faulty attempts are rolled back to the
+  // checkpoint, so capacity is reused across retries.
+  for (size_t src = 0; src < plan.sources_.size(); ++src) {
+    const ExchangePlan::Source& source = plan.sources_[src];
+    if (source.relation == nullptr) continue;
+    CP_CHECK(sink != nullptr);
+    Target target;
+    target.source_index = src;
+    target.counts.assign(plan.num_servers_, 0);
+    for (const auto& routes : source.shard_routes) {
+      for (const ExchangePlan::Route& r : routes) ++target.counts[r.server];
+    }
+    target.dests.assign(plan.num_servers_, nullptr);
+    for (uint32_t s = 0; s < plan.num_servers_; ++s) {
+      if (target.counts[s] == 0) continue;
+      Relation* dest = sink(src, s);
+      CP_CHECK(dest != nullptr);
+      bool seen = false;
+      for (const Checkpoint& checkpoint : checkpoints_) {
+        if (checkpoint.relation == dest) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        checkpoints_.push_back(Checkpoint{dest, dest->size()});
+        checkpointed_rows_ += dest->size();
+      }
+      dest->Reserve(dest->size() + target.counts[s]);
+      target.dests[s] = dest;
+    }
+    targets_.push_back(std::move(target));
+  }
+}
+
+uint64_t ExchangeDelivery::RunAttempt(const CorruptFn* corrupt) {
+  uint64_t delivered = 0;
+  for (const Target& target : targets_) {
+    const ExchangePlan::Source& source = plan_->sources_[target.source_index];
+    const uint32_t width = source.relation->width();
+    const Value* base = source.relation->raw().data();
+    for (const auto& routes : source.shard_routes) {
+      if (corrupt == nullptr) {
+        // Clean path: replay routes in ascending (shard, route) order with
+        // runs of consecutive rows bound for the same server coalesced
+        // into one flat AppendRows copy.
+        const size_t n = routes.size();
+        size_t k = 0;
+        while (k < n) {
+          const uint32_t server = routes[k].server;
+          const size_t first_row = routes[k].row;
+          size_t run = 1;
+          while (k + run < n && routes[k + run].server == server &&
+                 routes[k + run].row == first_row + run) {
+            ++run;
+          }
+          target.dests[server]->AppendRows(base + first_row * width, run);
+          delivered += run;
+          k += run;
+        }
+      } else {
+        // Corrupted path: per-row fates, same deterministic order.
+        for (const ExchangePlan::Route& r : routes) {
+          switch ((*corrupt)(target.source_index, r.server, r.row)) {
+            case RowFate::kDrop:
+              break;
+            case RowFate::kDuplicate:
+              target.dests[r.server]->AppendRows(base + r.row * width, 1);
+              target.dests[r.server]->AppendRows(base + r.row * width, 1);
+              delivered += 2;
+              break;
+            case RowFate::kDeliver:
+              target.dests[r.server]->AppendRows(base + r.row * width, 1);
+              ++delivered;
+              break;
+          }
+        }
+      }
+    }
+  }
+  return delivered;
+}
+
+void ExchangeDelivery::Restore() {
+  for (const Checkpoint& checkpoint : checkpoints_) {
+    checkpoint.relation->Truncate(checkpoint.rows);
+  }
+}
 
 namespace {
 
@@ -44,43 +155,14 @@ ExchangeStats Exchange::Execute(Cluster* cluster, uint32_t round, const Exchange
   // (shard, route) order — the order AddSource planned them in, which is
   // thread-count invariant. Destinations are fetched once per server and
   // reserved ahead; runs of consecutive rows bound for the same server
-  // coalesce into one flat AppendRows copy.
-  std::vector<uint64_t> counts;
-  std::vector<Relation*> dests;
-  for (size_t src = 0; src < plan.sources_.size(); ++src) {
-    const ExchangePlan::Source& source = plan.sources_[src];
-    if (source.relation == nullptr) continue;
-    CP_CHECK(sink != nullptr);
-    const uint32_t width = source.relation->width();
-    const Value* base = source.relation->raw().data();
-    counts.assign(plan.num_servers_, 0);
-    for (const auto& routes : source.shard_routes) {
-      for (const ExchangePlan::Route& r : routes) ++counts[r.server];
-    }
-    dests.assign(plan.num_servers_, nullptr);
-    for (uint32_t s = 0; s < plan.num_servers_; ++s) {
-      if (counts[s] == 0) continue;
-      Relation* dest = sink(src, s);
-      CP_CHECK(dest != nullptr);
-      dest->Reserve(dest->size() + counts[s]);
-      dests[s] = dest;
-    }
-    for (const auto& routes : source.shard_routes) {
-      const size_t n = routes.size();
-      size_t k = 0;
-      while (k < n) {
-        const uint32_t server = routes[k].server;
-        const size_t first_row = routes[k].row;
-        size_t run = 1;
-        while (k + run < n && routes[k + run].server == server &&
-               routes[k + run].row == first_row + run) {
-          ++run;
-        }
-        dests[server]->AppendRows(base + first_row * width, run);
-        stats.delivered += run;
-        k += run;
-      }
-    }
+  // coalesce into one flat AppendRows copy. With an interposer installed
+  // (resilience fault injection), the interposer drives the attempts; it
+  // must hand back a clean final delivery, verified by the audit below.
+  {
+    ExchangeDelivery delivery(plan, sink, round, label, cluster != nullptr);
+    ExchangeInterposer* interposer = ExchangeInterposer::Installed();
+    stats.delivered =
+        interposer != nullptr ? interposer->Deliver(delivery) : delivery.Attempt();
   }
   CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyExchange(plan.recorded_planned_, stats.delivered,
                                                         label);)

@@ -143,6 +143,7 @@ class ExchangePlan {
 
  private:
   friend class Exchange;
+  friend class ExchangeDelivery;
 
   /// One (server, row) route of a recorded source.
   struct Route {
@@ -172,6 +173,106 @@ class ExchangePlan {
 /// Phase 2 destination lookup: sink(source_index, server) returns the
 /// relation that server's rows of that source are delivered into.
 using ExchangeSink = std::function<Relation*(size_t, uint32_t)>;
+
+/// The delivery of one Execute call, reified so an interposer (the
+/// resilience layer's FaultInjector) can drive it: run delivery attempts —
+/// optionally corrupting them row by row — and roll the destinations back
+/// to their pre-exchange checkpoint between attempts. Destinations are
+/// resolved through the sink exactly once, at construction, so a
+/// multi-attempt delivery observes the same relations a fault-free one
+/// would; the checkpoint is each destination's row count at that moment
+/// (destinations only grow by appends, so truncation restores them
+/// bit-exactly).
+class ExchangeDelivery {
+ public:
+  /// Verdict for one routed row of a corrupted attempt.
+  enum class RowFate {
+    kDeliver,    ///< deliver normally
+    kDrop,       ///< lose the message (crashed or lossy receiver)
+    kDuplicate,  ///< deliver twice (retransmission race)
+  };
+
+  /// Per-row corruption oracle of one attempt: the fate of row `row` of
+  /// source `source` on its way to `server`. Called in the deterministic
+  /// (source, shard, row, emit) delivery order, from one thread.
+  using CorruptFn = std::function<RowFate(size_t source, uint32_t server, size_t row)>;
+
+  uint32_t round() const { return round_; }
+  const char* label() const { return label_; }
+  const ExchangePlan& plan() const { return *plan_; }
+  /// False for uncharged executions (null cluster: initial placement) —
+  /// such moves model free data birth, not communication, so fault
+  /// injection skips them.
+  bool charged() const { return charged_; }
+
+  /// Rows held by all destination relations at the pre-exchange
+  /// checkpoint: the volume a round-boundary snapshot protects.
+  uint64_t CheckpointedRows() const { return checkpointed_rows_; }
+
+  /// Runs one clean delivery attempt (the fault-free fast path: coalesced
+  /// bulk appends). Returns the rows delivered.
+  uint64_t Attempt() { return RunAttempt(nullptr); }
+
+  /// Runs one attempt under the corruption oracle. Returns the rows
+  /// actually delivered (dropped rows excluded, duplicates counted twice).
+  uint64_t Attempt(const CorruptFn& corrupt) { return RunAttempt(&corrupt); }
+
+  /// Truncates every destination back to its pre-exchange checkpoint:
+  /// restore-and-replay of the failed round.
+  void Restore();
+
+ private:
+  friend class Exchange;
+
+  ExchangeDelivery(const ExchangePlan& plan, const ExchangeSink& sink, uint32_t round,
+                   const char* label, bool charged);
+
+  uint64_t RunAttempt(const CorruptFn* corrupt);
+
+  /// Destination state of one recorded source.
+  struct Target {
+    size_t source_index;
+    std::vector<uint64_t> counts;    ///< planned rows per server
+    std::vector<Relation*> dests;    ///< resolved once; null where counts == 0
+  };
+
+  /// Pre-exchange size of one (unique) destination relation.
+  struct Checkpoint {
+    Relation* relation;
+    size_t rows;
+  };
+
+  const ExchangePlan* plan_;
+  uint32_t round_;
+  const char* label_;
+  bool charged_;
+  std::vector<Target> targets_;
+  std::vector<Checkpoint> checkpoints_;
+  uint64_t checkpointed_rows_ = 0;
+};
+
+/// Interposer seam of the Exchange layer: when installed, every Execute
+/// hands its delivery to the interposer instead of performing the single
+/// clean attempt itself. The resilience layer's FaultInjector uses this to
+/// inject crashes, message drops/duplications, and round replays without
+/// any algorithm knowing. The interposer MUST leave every destination in
+/// the clean fault-free state (final attempt clean, earlier attempts rolled
+/// back via Restore) — the conservation audit and the tracker charging run
+/// after it returns, against the fault-free volumes.
+class ExchangeInterposer {
+ public:
+  virtual ~ExchangeInterposer() = default;
+
+  /// Drives the delivery of one exchange. Returns the rows delivered by
+  /// the final (clean) attempt — must equal plan().recorded_planned().
+  virtual uint64_t Deliver(ExchangeDelivery& delivery) = 0;
+
+  /// Installs `interposer` process-wide (nullptr uninstalls) and returns
+  /// the previously installed one, so scoped installers can nest. Install
+  /// only from quiescent points — never while exchanges are executing.
+  static ExchangeInterposer* Install(ExchangeInterposer* interposer);
+  static ExchangeInterposer* Installed();
+};
 
 /// Phase 2: executes a plan.
 class Exchange {

@@ -1,0 +1,45 @@
+#include "resilience/checkpoint.h"
+
+#include <utility>
+
+namespace coverpack {
+namespace resilience {
+
+RoundCheckpoint::RoundCheckpoint(uint32_t round, DistRelation data, LoadTracker tracker)
+    : round_(round),
+      snapshot_tuples_(data.TotalSize()),
+      data_(std::move(data)),
+      tracker_(std::move(tracker)) {}
+
+RoundCheckpoint RoundCheckpoint::Capture(uint32_t round, const DistRelation& data,
+                                         const LoadTracker& tracker) {
+  return RoundCheckpoint(round, data, tracker);
+}
+
+void RoundCheckpoint::Restore(DistRelation* data, LoadTracker* tracker) const {
+  *data = data_;
+  *tracker = tracker_;
+}
+
+void RoundCheckpointStore::NoteCapture(uint32_t round, uint64_t tuples) {
+  RoundEntry& entry = rounds_[round];
+  ++entry.captures;
+  entry.tuples += tuples;
+  ++num_captures_;
+  total_tuples_ += tuples;
+}
+
+void RoundCheckpointStore::NoteRestore(uint32_t round) {
+  ++rounds_[round].restores;
+  ++num_restores_;
+}
+
+void RoundCheckpointStore::Clear() {
+  num_captures_ = 0;
+  num_restores_ = 0;
+  total_tuples_ = 0;
+  rounds_.clear();
+}
+
+}  // namespace resilience
+}  // namespace coverpack

@@ -1,0 +1,89 @@
+/// \file checkpoint.h
+/// \brief Round-boundary checkpoints of distributed simulator state.
+///
+/// The recovery unit of the resilience layer is one round: every algorithm
+/// in the paper is analyzed round by round, so when a server crashes the
+/// cheapest sound repair is to restore the round's starting state and
+/// replay only that round. Two granularities:
+///
+///  * RoundCheckpoint — a deep snapshot of a DistRelation plus the
+///    cluster's LoadTracker, captured at a round boundary and restorable
+///    wholesale. This is the coarse unit an outer driver uses for the
+///    degraded "full deterministic rerun" path.
+///  * Inside the Exchange layer the checkpoint is implicit and cheaper:
+///    destinations only grow by appends during a round, so
+///    ExchangeDelivery records pre-exchange row counts and restores by
+///    truncation (see mpc/exchange.h). RoundCheckpointStore is the ledger
+///    of those implicit checkpoints — which rounds were protected, how
+///    many tuples each snapshot covered, and how often a restore fired.
+
+#ifndef COVERPACK_RESILIENCE_CHECKPOINT_H_
+#define COVERPACK_RESILIENCE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mpc/dist_relation.h"
+#include "mpc/load_tracker.h"
+
+namespace coverpack {
+namespace resilience {
+
+/// A deep round-boundary snapshot of one DistRelation and the tracker.
+class RoundCheckpoint {
+ public:
+  /// Captures the state at the boundary of `round`.
+  static RoundCheckpoint Capture(uint32_t round, const DistRelation& data,
+                                 const LoadTracker& tracker);
+
+  /// Restores `data` and `tracker` to the captured state (deep copy back).
+  void Restore(DistRelation* data, LoadTracker* tracker) const;
+
+  uint32_t round() const { return round_; }
+  /// Tuples the snapshot protects (total rows across shards).
+  uint64_t snapshot_tuples() const { return snapshot_tuples_; }
+
+ private:
+  RoundCheckpoint(uint32_t round, DistRelation data, LoadTracker tracker);
+
+  uint32_t round_;
+  uint64_t snapshot_tuples_;
+  DistRelation data_;
+  LoadTracker tracker_;
+};
+
+/// Bookkeeping of the per-round implicit checkpoints taken at the Exchange
+/// choke point: capture/restore counts and protected volume per round.
+/// Rounds here are exchange-local (child clusters report their own round
+/// numbers), which is the right granularity for recovery accounting.
+class RoundCheckpointStore {
+ public:
+  void NoteCapture(uint32_t round, uint64_t tuples);
+  void NoteRestore(uint32_t round);
+  void Clear();
+
+  uint64_t num_captures() const { return num_captures_; }
+  uint64_t num_restores() const { return num_restores_; }
+  /// Total tuples protected across all captures.
+  uint64_t total_tuples() const { return total_tuples_; }
+  /// Distinct rounds that took at least one checkpoint.
+  uint64_t num_rounds() const { return rounds_.size(); }
+
+ private:
+  struct RoundEntry {
+    uint64_t captures = 0;
+    uint64_t restores = 0;
+    uint64_t tuples = 0;
+  };
+
+  uint64_t num_captures_ = 0;
+  uint64_t num_restores_ = 0;
+  uint64_t total_tuples_ = 0;
+  std::map<uint32_t, RoundEntry> rounds_;
+};
+
+}  // namespace resilience
+}  // namespace coverpack
+
+#endif  // COVERPACK_RESILIENCE_CHECKPOINT_H_

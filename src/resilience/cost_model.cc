@@ -1,0 +1,40 @@
+#include "resilience/cost_model.h"
+
+#include <algorithm>
+
+namespace coverpack {
+namespace resilience {
+
+MakespanBreakdown SimulateMakespan(const LoadTracker& tracker, const FaultPlan& plan) {
+  MakespanBreakdown breakdown;
+  breakdown.round_makespans.reserve(tracker.num_rounds());
+  for (uint32_t r = 0; r < tracker.num_rounds(); ++r) {
+    double round_makespan = 0.0;
+    double round_uniform = 0.0;
+    bool bottleneck_straggles = false;
+    for (uint32_t s = 0; s < tracker.num_servers(); ++s) {
+      const uint64_t load = tracker.At(r, s);
+      if (load == 0) continue;
+      const double speed = plan.SpeedOf(r, s);
+      const double finish = static_cast<double>(load) / speed;
+      if (finish > round_makespan) {
+        round_makespan = finish;
+        bottleneck_straggles = speed < 1.0;
+      }
+      round_uniform = std::max(round_uniform, static_cast<double>(load));
+    }
+    breakdown.round_makespans.push_back(round_makespan);
+    if (round_makespan == 0.0) continue;
+    ++breakdown.rounds;
+    breakdown.makespan += round_makespan;
+    breakdown.uniform_makespan += round_uniform;
+    if (bottleneck_straggles) ++breakdown.straggler_bottlenecks;
+  }
+  if (breakdown.uniform_makespan > 0.0) {
+    breakdown.slowdown = breakdown.makespan / breakdown.uniform_makespan;
+  }
+  return breakdown;
+}
+
+}  // namespace resilience
+}  // namespace coverpack

@@ -1,0 +1,31 @@
+/// \file resilience_metrics.h
+/// \brief Bridges the resilience layer's recovery ledger into a
+/// MetricsRegistry (and therefore into RunReport / BENCH_results.json).
+///
+/// Same shape as exchange_metrics.h: cp_telemetry links cp_resilience, the
+/// resilience layer exposes a plain-struct snapshot, and this translates
+/// it into the "fault.*" / "recovery.*" metric keys documented in
+/// EXPERIMENTS.md.
+
+#ifndef COVERPACK_TELEMETRY_RESILIENCE_METRICS_H_
+#define COVERPACK_TELEMETRY_RESILIENCE_METRICS_H_
+
+#include "telemetry/metrics.h"
+
+namespace coverpack {
+namespace telemetry {
+
+/// Writes the current ResilienceTelemetry ledger into `registry`: fault.*
+/// counters (exchanges injected/faulted, crashes, rows dropped/duplicated)
+/// and recovery.* counters/gauge/histograms (retries, full reruns, backoff
+/// units, tuples resent with per-cause splits, checkpoint accounting, max
+/// single resend, attempts and resend-volume distributions). No-op when no
+/// exchange ran under fault injection since the last
+/// ResilienceTelemetry::Reset(), so fault-free reports keep their schema
+/// byte-identical. Call from the thread that owns `registry`.
+void SnapshotResilienceTelemetryInto(MetricsRegistry* registry);
+
+}  // namespace telemetry
+}  // namespace coverpack
+
+#endif  // COVERPACK_TELEMETRY_RESILIENCE_METRICS_H_

@@ -1,0 +1,272 @@
+/// Chaos tests (ctest label: chaos): the resilience subsystem under
+/// deliberately brutal fault schedules — crash storms that exhaust the
+/// retry budget, heavy per-row corruption, universal stragglers, and
+/// mixed schedules — always checked against the same invariant: the
+/// healed run is bit-identical to the fault-free run, and the recovery
+/// ledger accounts for every retry, resend, and backoff unit exactly.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/acyclic_join.h"
+#include "mpc/cluster.h"
+#include "mpc/hypercube.h"
+#include "query/catalog.h"
+#include "report_compare.h"
+#include "resilience/cost_model.h"
+#include "resilience/fault_injector.h"
+#include "resilience/fault_plan.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "workload/generators.h"
+
+namespace coverpack {
+namespace {
+
+using resilience::FaultSpec;
+using resilience::ResilienceTelemetry;
+using resilience::ResilienceTelemetrySnapshot;
+using resilience::ScopedFaultInjection;
+using testutil::RelationsEqual;
+using testutil::TrackersEqual;
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_threads_ = ThreadPool::GlobalThreads();
+    ResilienceTelemetry::Reset();
+  }
+  void TearDown() override { ThreadPool::SetGlobalThreads(saved_threads_); }
+
+ private:
+  unsigned saved_threads_ = 0;
+};
+
+/// One hypercube box-join run; records rows (collect mode), so both the
+/// crash path and the per-row corruption path are exercised.
+struct BoxRun {
+  mpc::HypercubeResult result;
+  LoadTracker tracker{1};
+};
+
+BoxRun RunBoxJoin(uint32_t p, size_t n) {
+  const Hypergraph box = catalog::BoxJoin();
+  const Instance instance = workload::MatchingInstance(box, n);
+  std::vector<uint64_t> sizes;
+  for (size_t r = 0; r < instance.num_relations(); ++r) sizes.push_back(instance[r].size());
+  const mpc::ShareVector shares = mpc::OptimizeSharesForSizes(box, sizes, p);
+  Cluster cluster(p);
+  BoxRun run;
+  run.result = mpc::HypercubeJoin(&cluster, box, instance, shares, /*round=*/0,
+                                  /*collect=*/true);
+  run.tracker = cluster.tracker();
+  return run;
+}
+
+bool BoxRunsIdentical(const BoxRun& a, const BoxRun& b) {
+  if (a.result.output_count != b.result.output_count ||
+      a.result.max_receive_load != b.result.max_receive_load ||
+      a.result.results.num_shards() != b.result.results.num_shards() ||
+      !TrackersEqual(a.tracker, b.tracker)) {
+    return false;
+  }
+  for (uint32_t s = 0; s < a.result.results.num_shards(); ++s) {
+    if (a.result.results.shard(s).raw() != b.result.results.shard(s).raw()) return false;
+  }
+  return true;
+}
+
+TEST_F(ChaosTest, TotalCrashStormDegradesToFullRerunsYetStaysExact) {
+  // Every attempt of every exchange crashes every receiving server; a tiny
+  // retry budget forces the graceful-degradation path (full deterministic
+  // rerun) on each exchange — and the answer still cannot change.
+  const BoxRun clean = RunBoxJoin(16, 2048);
+  FaultSpec spec;
+  spec.seed = 0xC405;
+  spec.crash_rate = 1.0;
+  spec.max_attempts = 2;
+  BoxRun stormed;
+  {
+    ScopedFaultInjection injection(spec);
+    stormed = RunBoxJoin(16, 2048);
+  }
+  EXPECT_TRUE(BoxRunsIdentical(clean, stormed));
+  const ResilienceTelemetrySnapshot ledger = ResilienceTelemetry::Snapshot();
+  EXPECT_GT(ledger.exchanges_faulted, 0u);
+  EXPECT_EQ(ledger.full_reruns, ledger.exchanges_faulted);
+  EXPECT_EQ(ledger.retries, 2 * ledger.exchanges_faulted);
+  EXPECT_GT(ledger.tuples_resent_full_rerun, 0u);
+  // Every faulted exchange burned its whole budget plus the clean replay.
+  for (const double attempts : ledger.attempts_samples) {
+    EXPECT_EQ(attempts, static_cast<double>(spec.max_attempts + 1));
+  }
+}
+
+TEST_F(ChaosTest, HeavyCorruptionIsHealedTupleForTuple) {
+  // Nearly every attempt mangles rows (30% dropped, 30% duplicated);
+  // recovery must keep retrying until a provably clean delivery lands.
+  const BoxRun clean = RunBoxJoin(32, 2048);
+  FaultSpec spec;
+  spec.seed = 0xD153A5E;
+  spec.drop_rate = 0.3;
+  spec.duplicate_rate = 0.3;
+  spec.max_attempts = 8;
+  BoxRun mangled;
+  {
+    ScopedFaultInjection injection(spec);
+    mangled = RunBoxJoin(32, 2048);
+  }
+  EXPECT_TRUE(BoxRunsIdentical(clean, mangled));
+  const ResilienceTelemetrySnapshot ledger = ResilienceTelemetry::Snapshot();
+  EXPECT_GT(ledger.rows_dropped, 0u);
+  EXPECT_GT(ledger.rows_duplicated, 0u);
+  EXPECT_GT(ledger.tuples_resent_corruption, 0u);
+  EXPECT_EQ(ledger.crashes, 0u);
+}
+
+TEST_F(ChaosTest, AcyclicPipelineSurvivesMixedChaos) {
+  // Multi-round acyclic decomposition under crashes + corruption +
+  // universal stragglers, with trace recording on: results, loads, and the
+  // decomposition tree all match the quiet run.
+  const Hypergraph query = catalog::Path(4);
+  Rng rng(29);
+  const Instance instance = workload::UniformInstance(query, 3000, 250, &rng);
+  AcyclicRunOptions options;
+  options.policy = RunPolicy::kOptimal;
+  options.collect = true;
+  options.trace = true;
+  options.p = 64;
+  const AcyclicRunResult clean = ComputeAcyclicJoin(query, instance, options);
+
+  FaultSpec spec;
+  spec.seed = 0xBADBAD;
+  spec.crash_rate = 0.6;
+  spec.drop_rate = 0.05;
+  spec.duplicate_rate = 0.05;
+  spec.straggler_rate = 1.0;
+  spec.straggler_severity = 16.0;
+  spec.max_attempts = 12;
+  AcyclicRunResult chaotic;
+  {
+    ScopedFaultInjection injection(spec);
+    chaotic = ComputeAcyclicJoin(query, instance, options);
+  }
+  EXPECT_EQ(clean.output_count, chaotic.output_count);
+  EXPECT_EQ(clean.max_load, chaotic.max_load);
+  EXPECT_EQ(clean.rounds, chaotic.rounds);
+  EXPECT_EQ(clean.total_communication, chaotic.total_communication);
+  EXPECT_TRUE(RelationsEqual(clean.results, chaotic.results));
+  EXPECT_TRUE(TrackersEqual(clean.load_tracker, chaotic.load_tracker));
+  EXPECT_EQ(TraceToString(clean.trace), TraceToString(chaotic.trace));
+
+  const ResilienceTelemetrySnapshot ledger = ResilienceTelemetry::Snapshot();
+  EXPECT_GT(ledger.crashes, 0u);
+  EXPECT_EQ(ledger.tuples_resent, ledger.tuples_resent_crash +
+                                      ledger.tuples_resent_corruption +
+                                      ledger.tuples_resent_full_rerun);
+  for (const double attempts : ledger.attempts_samples) {
+    EXPECT_LE(attempts, static_cast<double>(spec.max_attempts + 1));
+  }
+  // Stragglers never change results, only the simulated makespan: with the
+  // whole cluster straggling the model degrades by exactly the severity.
+  const resilience::MakespanBreakdown breakdown =
+      resilience::SimulateMakespan(clean.load_tracker, resilience::FaultPlan(spec));
+  EXPECT_DOUBLE_EQ(breakdown.slowdown, spec.straggler_severity);
+}
+
+TEST_F(ChaosTest, ChaosScheduleAndLedgerAreThreadCountInvariant) {
+  // The whole point of content-keyed fault decisions: the injected chaos —
+  // not just the healed result — is the same schedule at any parallelism.
+  FaultSpec spec;
+  spec.seed = 0x7EA;
+  spec.crash_rate = 0.5;
+  spec.drop_rate = 0.1;
+  spec.duplicate_rate = 0.1;
+  spec.max_attempts = 10;
+
+  ThreadPool::SetGlobalThreads(1);
+  BoxRun serial;
+  {
+    ScopedFaultInjection injection(spec);
+    serial = RunBoxJoin(16, 4096);
+  }
+  const ResilienceTelemetrySnapshot serial_ledger = ResilienceTelemetry::Snapshot();
+
+  ResilienceTelemetry::Reset();
+  ThreadPool::SetGlobalThreads(4);
+  BoxRun parallel;
+  {
+    ScopedFaultInjection injection(spec);
+    parallel = RunBoxJoin(16, 4096);
+  }
+  const ResilienceTelemetrySnapshot parallel_ledger = ResilienceTelemetry::Snapshot();
+
+  EXPECT_TRUE(BoxRunsIdentical(serial, parallel));
+  EXPECT_EQ(serial_ledger.exchanges_faulted, parallel_ledger.exchanges_faulted);
+  EXPECT_EQ(serial_ledger.crashes, parallel_ledger.crashes);
+  EXPECT_EQ(serial_ledger.rows_dropped, parallel_ledger.rows_dropped);
+  EXPECT_EQ(serial_ledger.rows_duplicated, parallel_ledger.rows_duplicated);
+  EXPECT_EQ(serial_ledger.retries, parallel_ledger.retries);
+  EXPECT_EQ(serial_ledger.full_reruns, parallel_ledger.full_reruns);
+  EXPECT_EQ(serial_ledger.tuples_resent, parallel_ledger.tuples_resent);
+  EXPECT_EQ(serial_ledger.backoff_units, parallel_ledger.backoff_units);
+  EXPECT_EQ(serial_ledger.attempts_samples, parallel_ledger.attempts_samples);
+  EXPECT_EQ(serial_ledger.resent_samples, parallel_ledger.resent_samples);
+}
+
+TEST_F(ChaosTest, BackoffFollowsTheCappedExponentialSchedule) {
+  // crash_rate 1 with a deep budget: attempt a pays min(base << a, cap)
+  // backoff units, so the total is a closed-form sum we can check exactly.
+  FaultSpec spec;
+  spec.seed = 0xB0FF;
+  spec.crash_rate = 1.0;
+  spec.max_attempts = 10;
+  spec.backoff_base = 2;
+  spec.backoff_cap = 8;
+  {
+    ScopedFaultInjection injection(spec);
+    RunBoxJoin(4, 256);
+  }
+  const ResilienceTelemetrySnapshot ledger = ResilienceTelemetry::Snapshot();
+  ASSERT_GT(ledger.exchanges_faulted, 0u);
+  uint64_t per_exchange = 0;
+  for (uint32_t attempt = 0; attempt < spec.max_attempts; ++attempt) {
+    const uint64_t raw = spec.backoff_base << attempt;
+    per_exchange += raw < spec.backoff_cap ? raw : spec.backoff_cap;
+  }
+  EXPECT_EQ(ledger.backoff_units, per_exchange * ledger.exchanges_faulted);
+}
+
+TEST_F(ChaosTest, RepeatedChaosRunsAreReproducible) {
+  // Two identical chaotic runs produce identical ledgers: the fault
+  // schedule is a pure function of the spec and the exchanged content.
+  FaultSpec spec;
+  spec.seed = 0x5EED;
+  spec.crash_rate = 0.4;
+  spec.drop_rate = 0.05;
+  spec.duplicate_rate = 0.05;
+  BoxRun first;
+  {
+    ScopedFaultInjection injection(spec);
+    first = RunBoxJoin(16, 1024);
+  }
+  const ResilienceTelemetrySnapshot first_ledger = ResilienceTelemetry::Snapshot();
+  ResilienceTelemetry::Reset();
+  BoxRun second;
+  {
+    ScopedFaultInjection injection(spec);
+    second = RunBoxJoin(16, 1024);
+  }
+  const ResilienceTelemetrySnapshot second_ledger = ResilienceTelemetry::Snapshot();
+  EXPECT_TRUE(BoxRunsIdentical(first, second));
+  EXPECT_EQ(first_ledger.crashes, second_ledger.crashes);
+  EXPECT_EQ(first_ledger.rows_dropped, second_ledger.rows_dropped);
+  EXPECT_EQ(first_ledger.rows_duplicated, second_ledger.rows_duplicated);
+  EXPECT_EQ(first_ledger.retries, second_ledger.retries);
+  EXPECT_EQ(first_ledger.tuples_resent, second_ledger.tuples_resent);
+}
+
+}  // namespace
+}  // namespace coverpack

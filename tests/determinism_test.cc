@@ -30,6 +30,8 @@
 #include "mpc/load_tracker.h"
 #include "query/catalog.h"
 #include "relation/instance.h"
+#include "report_compare.h"
+#include "resilience/fault_injector.h"
 #include "telemetry/run_report.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -38,66 +40,11 @@
 namespace coverpack {
 namespace {
 
-std::string ReportJson(const telemetry::RunReport& report) {
-  std::ostringstream out;
-  report.ToJson().Write(out);
-  return out.str();
-}
-
-/// Replaces every `"timers":{...}` subobject with `"timers":{}` — wall-clock
-/// timer samples are the only report content allowed to differ between two
-/// runs of the same experiment.
-std::string MaskTimers(const std::string& json) {
-  std::string out;
-  const std::string key = "\"timers\":";
-  size_t pos = 0;
-  while (true) {
-    size_t hit = json.find(key, pos);
-    if (hit == std::string::npos) {
-      out.append(json, pos, std::string::npos);
-      break;
-    }
-    size_t brace = hit + key.size();
-    while (brace < json.size() && json[brace] != '{') ++brace;
-    int depth = 0;
-    size_t end = brace;
-    for (; end < json.size(); ++end) {
-      if (json[end] == '{') {
-        ++depth;
-      } else if (json[end] == '}') {
-        if (--depth == 0) {
-          ++end;
-          break;
-        }
-      }
-    }
-    out.append(json, pos, hit - pos);
-    out += "\"timers\":{}";
-    pos = end;
-  }
-  return out;
-}
-
-bool RelationsEqual(const Relation& a, const Relation& b) {
-  if (!(a.attrs() == b.attrs()) || a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    auto ra = a.row(i), rb = b.row(i);
-    for (size_t c = 0; c < ra.size(); ++c) {
-      if (ra[c] != rb[c]) return false;
-    }
-  }
-  return true;
-}
-
-bool TrackersEqual(const LoadTracker& a, const LoadTracker& b) {
-  if (a.num_servers() != b.num_servers() || a.num_rounds() != b.num_rounds()) return false;
-  for (uint32_t round = 0; round < a.num_rounds(); ++round) {
-    for (uint32_t server = 0; server < a.num_servers(); ++server) {
-      if (a.At(round, server) != b.At(round, server)) return false;
-    }
-  }
-  return true;
-}
+using testutil::MaskTimers;
+using testutil::RelationsEqual;
+using testutil::ReportJson;
+using testutil::StripResilienceMetrics;
+using testutil::TrackersEqual;
 
 class DeterminismTest : public ::testing::Test {
  protected:
@@ -226,6 +173,79 @@ TEST_F(DeterminismTest, AcyclicJoinIsBitIdenticalAcrossThreadCounts) {
     EXPECT_TRUE(RelationsEqual(serial.results, parallel.results));
     EXPECT_TRUE(TrackersEqual(serial.load_tracker, parallel.load_tracker));
     EXPECT_EQ(TraceToString(serial.trace), TraceToString(parallel.trace));
+  }
+}
+
+TEST_F(DeterminismTest, FastExperimentsAreBitIdenticalUnderFaultInjection) {
+  // The resilience tentpole guarantee: running ANY experiment under a
+  // FaultPlan with crashes and message corruption yields a report that is
+  // byte-identical to the fault-free run once the fault./recovery. ledger
+  // keys are stripped — and the fault-injected run itself is byte-identical
+  // (ledger included) at 1 vs 4 threads, because every fault decision is a
+  // pure function of exchange content, not of scheduling.
+  resilience::FaultSpec spec;
+  spec.seed = 0xFA17;
+  spec.crash_rate = 0.05;
+  spec.drop_rate = 0.001;
+  spec.duplicate_rate = 0.001;
+  for (const bench::Experiment& experiment : bench::AllExperiments()) {
+    if (!experiment.fast) continue;
+    SCOPED_TRACE(experiment.id);
+    ThreadPool::SetGlobalThreads(4);
+    telemetry::RunReport clean = bench::RunExperiment(experiment);
+    telemetry::RunReport faulted_serial;
+    telemetry::RunReport faulted_parallel;
+    {
+      resilience::ScopedFaultInjection injection(spec);
+      ThreadPool::SetGlobalThreads(1);
+      faulted_serial = bench::RunExperiment(experiment);
+      ThreadPool::SetGlobalThreads(4);
+      faulted_parallel = bench::RunExperiment(experiment);
+    }
+    EXPECT_EQ(clean.ok, faulted_parallel.ok);
+    // Both sides stripped: for almost every experiment the clean report has
+    // no ledger keys and stripping is a no-op, but resilience_overhead
+    // injects faults internally and legitimately ledgers them even when no
+    // outer FaultPlan is installed.
+    EXPECT_EQ(StripResilienceMetrics(MaskTimers(ReportJson(clean))),
+              StripResilienceMetrics(MaskTimers(ReportJson(faulted_parallel))));
+    EXPECT_EQ(MaskTimers(ReportJson(faulted_serial)),
+              MaskTimers(ReportJson(faulted_parallel)));
+  }
+}
+
+TEST_F(DeterminismTest, AcyclicJoinRecoversBitIdenticallyUnderFaults) {
+  // End-to-end pipeline under heavy faults: materialized results, tracker,
+  // and decomposition trace all match the fault-free run exactly.
+  Hypergraph query = catalog::Path(4);
+  AcyclicRunOptions options;
+  options.policy = RunPolicy::kOptimal;
+  options.collect = true;
+  options.p = 64;
+  options.trace = true;
+  Rng rng(11);
+  Instance instance = workload::UniformInstance(query, 2000, 200, &rng);
+  ThreadPool::SetGlobalThreads(4);
+  AcyclicRunResult clean = ComputeAcyclicJoin(query, instance, options);
+
+  resilience::FaultSpec spec;
+  spec.seed = 0xFA17;
+  spec.crash_rate = 0.2;
+  spec.drop_rate = 0.01;
+  spec.duplicate_rate = 0.01;
+  for (unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE(threads);
+    ThreadPool::SetGlobalThreads(threads);
+    resilience::ScopedFaultInjection injection(spec);
+    AcyclicRunResult faulted = ComputeAcyclicJoin(query, instance, options);
+    EXPECT_EQ(clean.output_count, faulted.output_count);
+    EXPECT_EQ(clean.max_load, faulted.max_load);
+    EXPECT_EQ(clean.rounds, faulted.rounds);
+    EXPECT_EQ(clean.servers_used, faulted.servers_used);
+    EXPECT_EQ(clean.total_communication, faulted.total_communication);
+    EXPECT_TRUE(RelationsEqual(clean.results, faulted.results));
+    EXPECT_TRUE(TrackersEqual(clean.load_tracker, faulted.load_tracker));
+    EXPECT_EQ(TraceToString(clean.trace), TraceToString(faulted.trace));
   }
 }
 
