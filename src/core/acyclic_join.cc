@@ -276,6 +276,9 @@ SubRun Engine::CaseOne(const Hypergraph& query, const Instance& instance, const 
   }
   std::vector<Value> heavy;
   std::vector<Value> light;
+  // Iteration order cannot escape: heavy and light are sorted immediately
+  // below, so the partition result is order-independent.
+  // cplint: allow(no-unordered-iteration)
   for (const auto& [value, degree] : max_degree) {
     if (degree > load_) {
       heavy.push_back(value);

@@ -2,10 +2,11 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "util/audit.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace coverpack {
 namespace mpc {
@@ -128,13 +129,16 @@ namespace {
 /// and pool tasks. One sample pair per Execute call — exchanges happen per
 /// primitive per round, so the sample vectors stay small.
 struct TelemetryState {
-  std::mutex mutex;
-  uint64_t count = 0;
-  uint64_t tuples_moved = 0;
-  uint64_t max_fanin = 0;
-  std::map<std::string, ExchangeTelemetrySnapshot::LabelAggregate> by_label;
-  std::vector<double> tuples_samples;  // planned volume per exchange
-  std::vector<double> skew_samples;    // max receive / mean receive per exchange
+  Mutex mutex;
+  uint64_t count CP_GUARDED_BY(mutex) = 0;
+  uint64_t tuples_moved CP_GUARDED_BY(mutex) = 0;
+  uint64_t max_fanin CP_GUARDED_BY(mutex) = 0;
+  std::map<std::string, ExchangeTelemetrySnapshot::LabelAggregate> by_label
+      CP_GUARDED_BY(mutex);
+  // planned volume per exchange
+  std::vector<double> tuples_samples CP_GUARDED_BY(mutex);
+  // max receive / mean receive per exchange
+  std::vector<double> skew_samples CP_GUARDED_BY(mutex);
 };
 
 TelemetryState& State() {
@@ -190,7 +194,7 @@ ExchangeStats Exchange::Execute(Cluster* cluster, uint32_t round, const Exchange
 
 void ExchangeTelemetry::Reset() {
   TelemetryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   state.count = 0;
   state.tuples_moved = 0;
   state.max_fanin = 0;
@@ -202,7 +206,7 @@ void ExchangeTelemetry::Reset() {
 void ExchangeTelemetry::Record(const char* label, const ExchangeStats& stats,
                                uint32_t num_servers) {
   TelemetryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   ++state.count;
   state.tuples_moved += stats.planned;
   state.max_fanin = std::max(state.max_fanin, stats.max_receive);
@@ -220,7 +224,7 @@ void ExchangeTelemetry::Record(const char* label, const ExchangeStats& stats,
 
 ExchangeTelemetrySnapshot ExchangeTelemetry::Snapshot() {
   TelemetryState& state = State();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   ExchangeTelemetrySnapshot snapshot;
   snapshot.count = state.count;
   snapshot.tuples_moved = state.tuples_moved;

@@ -93,11 +93,16 @@ std::unordered_map<Value, uint64_t> DegreeByValue(Cluster* cluster, const DistRe
     const std::unordered_map<Value, uint64_t>& local = locals[s];
     if (local.empty()) continue;
     pair_count += local.size();
+    // Pure commutative accumulation into a map keyed by value: the merged
+    // degrees are independent of iteration order.
+    // cplint: allow(no-unordered-iteration)
     for (const auto& [value, count] : local) degrees[value] += count;
   }
   // Reduce-by-key conserves counts: the degrees of all values must sum to
   // exactly the number of input tuples.
   CP_AUDIT_ONLY(
+      // Commutative sum for the conservation audit; order-independent.
+      // cplint: allow(no-unordered-iteration)
       uint64_t degree_sum = 0; for (const auto& [value, count] : degrees) degree_sum += count;
       audit::SimulatorAuditor::VerifyExchange(input.TotalSize(), degree_sum,
                                               "DegreeByValue count conservation");)

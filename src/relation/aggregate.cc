@@ -59,6 +59,11 @@ AnnRel GroupBy(const AnnRel& input, AttrSet out_attrs, const Semiring& semiring)
                                              semiring.combine_identity);
     it->second = semiring.combine(it->second, input.weights[i]);
   }
+  // Deterministic for a fixed standard library: groups is populated
+  // single-threaded in input order, and aggregate results are compared as
+  // key/value multisets downstream. Reordering here would change recorded
+  // outputs, so the site is suppressed rather than rewritten.
+  // cplint: allow(no-unordered-iteration)
   for (const auto& [key, value] : groups) {
     output.rows.AppendRow(std::span<const Value>(key));
     output.weights.push_back(value);
@@ -300,6 +305,9 @@ AggregateResult JoinAggregateBruteForce(const Hypergraph& query, const Instance&
   }
   AggregateResult result;
   result.keys = Relation(output_attrs);
+  // Same as SemiringGroupBy above: single-threaded deterministic fill,
+  // multiset comparison downstream; reordering would change recorded outputs.
+  // cplint: allow(no-unordered-iteration)
   for (const auto& [key, value] : groups) {
     result.keys.AppendRow(std::span<const Value>(key));
     result.values.push_back(value);

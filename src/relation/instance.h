@@ -8,6 +8,7 @@
 
 #include "query/hypergraph.h"
 #include "relation/relation.h"
+#include "util/logging.h"
 
 namespace coverpack {
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "query/attr_set.h"
+#include "util/logging.h"
 
 namespace coverpack {
 

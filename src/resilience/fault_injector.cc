@@ -1,7 +1,9 @@
 #include "resilience/fault_injector.h"
 
 #include <algorithm>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace coverpack {
 namespace resilience {
@@ -12,24 +14,24 @@ namespace {
 /// ExchangeTelemetry: exchanges execute from both the main thread and pool
 /// tasks, and the ledger must merge their recovery costs race-free.
 struct LedgerState {
-  std::mutex mutex;
-  uint64_t exchanges_injected = 0;
-  uint64_t exchanges_faulted = 0;
-  uint64_t crashes = 0;
-  uint64_t rows_dropped = 0;
-  uint64_t rows_duplicated = 0;
-  uint64_t retries = 0;
-  uint64_t full_reruns = 0;
-  uint64_t backoff_units = 0;
-  uint64_t tuples_resent = 0;
-  uint64_t tuples_resent_crash = 0;
-  uint64_t tuples_resent_corruption = 0;
-  uint64_t tuples_resent_full_rerun = 0;
-  uint64_t checkpoints_captured = 0;
-  uint64_t checkpoint_tuples = 0;
-  uint64_t max_single_resend = 0;
-  std::vector<double> attempts_samples;
-  std::vector<double> resent_samples;
+  Mutex mutex;
+  uint64_t exchanges_injected CP_GUARDED_BY(mutex) = 0;
+  uint64_t exchanges_faulted CP_GUARDED_BY(mutex) = 0;
+  uint64_t crashes CP_GUARDED_BY(mutex) = 0;
+  uint64_t rows_dropped CP_GUARDED_BY(mutex) = 0;
+  uint64_t rows_duplicated CP_GUARDED_BY(mutex) = 0;
+  uint64_t retries CP_GUARDED_BY(mutex) = 0;
+  uint64_t full_reruns CP_GUARDED_BY(mutex) = 0;
+  uint64_t backoff_units CP_GUARDED_BY(mutex) = 0;
+  uint64_t tuples_resent CP_GUARDED_BY(mutex) = 0;
+  uint64_t tuples_resent_crash CP_GUARDED_BY(mutex) = 0;
+  uint64_t tuples_resent_corruption CP_GUARDED_BY(mutex) = 0;
+  uint64_t tuples_resent_full_rerun CP_GUARDED_BY(mutex) = 0;
+  uint64_t checkpoints_captured CP_GUARDED_BY(mutex) = 0;
+  uint64_t checkpoint_tuples CP_GUARDED_BY(mutex) = 0;
+  uint64_t max_single_resend CP_GUARDED_BY(mutex) = 0;
+  std::vector<double> attempts_samples CP_GUARDED_BY(mutex);
+  std::vector<double> resent_samples CP_GUARDED_BY(mutex);
 };
 
 LedgerState& Ledger() {
@@ -41,7 +43,7 @@ LedgerState& Ledger() {
 
 void ResilienceTelemetry::Reset() {
   LedgerState& state = Ledger();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   state.exchanges_injected = 0;
   state.exchanges_faulted = 0;
   state.crashes = 0;
@@ -63,7 +65,7 @@ void ResilienceTelemetry::Reset() {
 
 void ResilienceTelemetry::Record(const ExchangeRecord& record) {
   LedgerState& state = Ledger();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   ++state.exchanges_injected;
   ++state.checkpoints_captured;
   state.checkpoint_tuples += record.checkpoint_tuples;
@@ -89,7 +91,7 @@ void ResilienceTelemetry::Record(const ExchangeRecord& record) {
 
 ResilienceTelemetrySnapshot ResilienceTelemetry::Snapshot() {
   LedgerState& state = Ledger();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   ResilienceTelemetrySnapshot snapshot;
   snapshot.exchanges_injected = state.exchanges_injected;
   snapshot.exchanges_faulted = state.exchanges_faulted;
@@ -112,7 +114,7 @@ ResilienceTelemetrySnapshot ResilienceTelemetry::Snapshot() {
 }
 
 RoundCheckpointStore FaultInjector::CheckpointLedger() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return checkpoints_;
 }
 
@@ -129,7 +131,7 @@ uint64_t FaultInjector::Deliver(mpc::ExchangeDelivery& delivery) {
       FaultPlan::ExchangeKey(delivery.round(), delivery.label(), plan.total_planned(),
                              plan.recorded_planned(), plan.num_servers());
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     checkpoints_.NoteCapture(delivery.round(), delivery.CheckpointedRows());
   }
 
@@ -188,7 +190,7 @@ uint64_t FaultInjector::Deliver(mpc::ExchangeDelivery& delivery) {
     // charge the recovery ledger, and retry with backoff.
     delivery.Restore();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       checkpoints_.NoteRestore(delivery.round());
     }
     record.faulted = true;

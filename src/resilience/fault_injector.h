@@ -23,12 +23,13 @@
 #define COVERPACK_RESILIENCE_FAULT_INJECTOR_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "mpc/exchange.h"
 #include "resilience/checkpoint.h"
 #include "resilience/fault_plan.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace coverpack {
 namespace resilience {
@@ -102,8 +103,8 @@ class FaultInjector : public mpc::ExchangeInterposer {
 
  private:
   FaultPlan plan_;
-  mutable std::mutex mutex_;  ///< guards checkpoints_
-  RoundCheckpointStore checkpoints_;
+  mutable Mutex mutex_;
+  RoundCheckpointStore checkpoints_ CP_GUARDED_BY(mutex_);
 };
 
 /// RAII installation of a FaultInjector as the process interposer. Nests:

@@ -65,10 +65,10 @@ LoadSkewProfile ProfileLoadTracker(const LoadTracker& tracker, std::string name)
   // Conservation: the per-round totals must re-add to the tracker's total
   // communication volume (a lost round here would silently understate skew).
   CP_AUDIT_EQ(round_total_sum, profile.total_communication);
-  uint64_t cells =
+  const uint64_t cells =
       static_cast<uint64_t>(profile.num_servers) * static_cast<uint64_t>(profile.num_rounds);
   if (cells > 0 && profile.total_communication > 0) {
-    double mean_cell = static_cast<double>(profile.total_communication) /
+    const double mean_cell = static_cast<double>(profile.total_communication) /
                        static_cast<double>(cells);
     profile.overall_skew_ratio = static_cast<double>(profile.max_load) / mean_cell;
   }

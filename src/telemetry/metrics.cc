@@ -6,6 +6,7 @@
 
 #include "util/audit.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace coverpack {
@@ -61,7 +62,7 @@ JsonValue Histogram::ToJson() const {
 }
 
 MetricsRegistry::MetricsRegistry(const MetricsRegistry& other) {
-  std::lock_guard<std::mutex> lock(other.mutex_);
+  MutexLock lock(other.mutex_);
   counters_ = other.counters_;
   gauges_ = other.gauges_;
   histograms_ = other.histograms_;
@@ -70,7 +71,7 @@ MetricsRegistry::MetricsRegistry(const MetricsRegistry& other) {
 
 MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& other) {
   if (this == &other) return *this;
-  std::scoped_lock lock(mutex_, other.mutex_);
+  DualMutexLock lock(mutex_, other.mutex_);
   counters_ = other.counters_;
   gauges_ = other.gauges_;
   histograms_ = other.histograms_;
@@ -80,7 +81,7 @@ MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& other) {
 }
 
 MetricsRegistry::MetricsRegistry(MetricsRegistry&& other) noexcept {
-  std::lock_guard<std::mutex> lock(other.mutex_);
+  MutexLock lock(other.mutex_);
   counters_ = std::move(other.counters_);
   gauges_ = std::move(other.gauges_);
   histograms_ = std::move(other.histograms_);
@@ -89,7 +90,7 @@ MetricsRegistry::MetricsRegistry(MetricsRegistry&& other) noexcept {
 
 MetricsRegistry& MetricsRegistry::operator=(MetricsRegistry&& other) noexcept {
   if (this == &other) return *this;
-  std::scoped_lock lock(mutex_, other.mutex_);
+  DualMutexLock lock(mutex_, other.mutex_);
   counters_ = std::move(other.counters_);
   gauges_ = std::move(other.gauges_);
   histograms_ = std::move(other.histograms_);
@@ -110,7 +111,7 @@ void MetricsRegistry::NoteMutation() {
 }
 
 void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   NoteMutation();
   uint64_t& counter = counters_[name];
   CP_AUDIT_ONLY(const uint64_t before = counter;)
@@ -120,26 +121,26 @@ void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
 }
 
 uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = counters_.find(name);
+  MutexLock lock(mutex_);
+  const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   NoteMutation();
   gauges_[name] = value;
 }
 
 double MetricsRegistry::GaugeValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = gauges_.find(name);
+  MutexLock lock(mutex_);
+  const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   NoteMutation();
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
@@ -152,13 +153,13 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = histograms_.find(name);
+  MutexLock lock(mutex_);
+  const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 void MetricsRegistry::RecordTimeMs(const std::string& name, double elapsed_ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   NoteMutation();
   auto [it, inserted] = timers_.try_emplace(name);
   TimerStat& stat = it->second;
@@ -174,13 +175,13 @@ void MetricsRegistry::RecordTimeMs(const std::string& name, double elapsed_ms) {
 }
 
 const TimerStat* MetricsRegistry::FindTimer(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = timers_.find(name);
+  MutexLock lock(mutex_);
+  const auto it = timers_.find(name);
   return it == timers_.end() ? nullptr : &it->second;
 }
 
 JsonValue MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   JsonValue value = JsonValue::Object();
   JsonValue counters = JsonValue::Object();
   for (const auto& [name, count] : counters_) counters.Set(name, count);
@@ -208,7 +209,7 @@ MetricsRegistry::ScopedTimer::ScopedTimer(MetricsRegistry* registry, std::string
     : registry_(registry), name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
 
 double MetricsRegistry::ScopedTimer::ElapsedMs() const {
-  auto elapsed = std::chrono::steady_clock::now() - start_;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
   return std::chrono::duration<double, std::milli>(elapsed).count();
 }
 

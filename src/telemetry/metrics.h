@@ -29,11 +29,12 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "telemetry/json_writer.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace coverpack {
 namespace telemetry {
@@ -107,7 +108,7 @@ class MetricsRegistry {
   const TimerStat* FindTimer(const std::string& name) const;
 
   bool empty() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return counters_.empty() && gauges_.empty() && histograms_.empty() && timers_.empty();
   }
 
@@ -135,14 +136,14 @@ class MetricsRegistry {
   /// Audit hook, called with mutex_ held: the mutation must come from the
   /// first mutator thread or from a sanctioned pool task; any other thread
   /// aborts. Compiles to a no-op outside COVERPACK_AUDIT builds.
-  void NoteMutation();
+  void NoteMutation() CP_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, uint64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, Histogram> histograms_;
-  std::map<std::string, TimerStat> timers_;
-  uint64_t mutator_thread_hash_ = 0;  // 0 = no mutation seen yet
+  mutable Mutex mutex_;
+  std::map<std::string, uint64_t> counters_ CP_GUARDED_BY(mutex_);
+  std::map<std::string, double> gauges_ CP_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram> histograms_ CP_GUARDED_BY(mutex_);
+  std::map<std::string, TimerStat> timers_ CP_GUARDED_BY(mutex_);
+  uint64_t mutator_thread_hash_ CP_GUARDED_BY(mutex_) = 0;  // 0 = no mutation seen yet
 };
 
 }  // namespace telemetry

@@ -25,7 +25,7 @@ uint64_t FloorNthRoot(uint64_t x, uint32_t k) {
   uint64_t hi = x;
   // Invariant: lo^k <= x < (hi+1)^k.
   while (lo < hi) {
-    uint64_t mid = lo + (hi - lo + 1) / 2;
+    const uint64_t mid = lo + (hi - lo + 1) / 2;
     if (SaturatingPow(mid, k) <= x) {
       lo = mid;
     } else {
@@ -36,7 +36,7 @@ uint64_t FloorNthRoot(uint64_t x, uint32_t k) {
 }
 
 uint64_t CeilNthRoot(uint64_t x, uint32_t k) {
-  uint64_t root = FloorNthRoot(x, k);
+  const uint64_t root = FloorNthRoot(x, k);
   if (SaturatingPow(root, k) == x) return root;
   return root + 1;
 }
@@ -54,7 +54,7 @@ PowerLawFit FitPowerLaw(const std::vector<double>& xs, const std::vector<double>
     }
   }
   CP_CHECK_GE(lx.size(), 2u) << "power-law fit needs at least two positive points";
-  double n = static_cast<double>(lx.size());
+  const double n = static_cast<double>(lx.size());
   double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
   for (size_t i = 0; i < lx.size(); ++i) {
     sx += lx[i];
@@ -64,14 +64,14 @@ PowerLawFit FitPowerLaw(const std::vector<double>& xs, const std::vector<double>
     syy += ly[i] * ly[i];
   }
   PowerLawFit fit;
-  double denom = n * sxx - sx * sx;
+  const double denom = n * sxx - sx * sx;
   if (denom == 0.0) return fit;
   fit.slope = (n * sxy - sx * sy) / denom;
   fit.intercept = (sy - fit.slope * sx) / n;
-  double ss_tot = syy - sy * sy / n;
+  const double ss_tot = syy - sy * sy / n;
   double ss_res = 0.0;
   for (size_t i = 0; i < lx.size(); ++i) {
-    double pred = fit.slope * lx[i] + fit.intercept;
+    const double pred = fit.slope * lx[i] + fit.intercept;
     ss_res += (ly[i] - pred) * (ly[i] - pred);
   }
   fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;

@@ -1,0 +1,100 @@
+/// \file mutex.h
+/// \brief Annotated mutex wrappers for clang Thread Safety Analysis.
+///
+/// libstdc++'s std::mutex / std::lock_guard carry no thread-safety
+/// annotations, so `CP_GUARDED_BY(some_std_mutex)` is unenforceable: the
+/// analysis never sees an acquire. These zero-cost wrappers close that
+/// gap — `Mutex` is a CP_CAPABILITY whose Lock/Unlock are annotated, and
+/// `MutexLock` / `DualMutexLock` are the scoped guards the analysis
+/// tracks. All shared-state classes in the repo (MetricsRegistry,
+/// ThreadPool, the Exchange and resilience ledgers) lock through these.
+///
+/// Condition variables: use std::condition_variable_any and wait on the
+/// Mutex directly (`cv.wait(mutex_)`) with an explicit predicate loop.
+/// The wait re-locks before returning, so from the caller's (and the
+/// analysis's) point of view the capability is held throughout — which is
+/// exactly the guarantee the surrounding code relies on. Predicates must
+/// be written as `while (!pred) cv.wait(mu);` rather than the
+/// lambda-predicate overload: the analysis does not propagate held
+/// capabilities into lambda bodies, so a guarded read inside the lambda
+/// would (spuriously) fail the analysis.
+
+#ifndef COVERPACK_UTIL_MUTEX_H_
+#define COVERPACK_UTIL_MUTEX_H_
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace coverpack {
+
+/// An annotated std::mutex. Also satisfies *BasicLockable* (lowercase
+/// lock/unlock) so std::condition_variable_any can wait on it directly.
+class CP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CP_ACQUIRE() { m_.lock(); }
+  void Unlock() CP_RELEASE() { m_.unlock(); }
+
+  // BasicLockable spelling, required by std::condition_variable_any. The
+  // cv's internal unlock/relock during a wait is invisible to the
+  // analysis, matching the caller-visible contract (held before, held
+  // after).
+  void lock() CP_ACQUIRE() { m_.lock(); }      // NOLINT(readability-identifier-naming)
+  void unlock() CP_RELEASE() { m_.unlock(); }  // NOLINT(readability-identifier-naming)
+
+  /// The wrapped std::mutex, for interop with std::lock-style algorithms.
+  /// Acquisitions through it are invisible to the analysis — callers must
+  /// carry their own annotations (see DualMutexLock).
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII guard over one Mutex (the annotated std::lock_guard).
+class CP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) CP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.Lock();
+  }
+  ~MutexLock() CP_RELEASE() { mutex_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// RAII guard over two Mutexes with deadlock-avoiding acquisition order
+/// (the annotated two-mutex std::scoped_lock, for symmetric operations
+/// like MetricsRegistry copy-assignment where concurrent `a = b; b = a;`
+/// must not deadlock).
+class CP_SCOPED_CAPABILITY DualMutexLock {
+ public:
+  DualMutexLock(Mutex& a, Mutex& b) CP_ACQUIRE(a, b) : a_(a), b_(b) {
+    // std::lock's ordering protocol on the native handles; the acquire is
+    // carried by this constructor's annotation, as libc++'s scoped_lock
+    // does with its own.
+    std::lock(a_.native(), b_.native());
+  }
+  ~DualMutexLock() CP_RELEASE() {
+    a_.native().unlock();
+    b_.native().unlock();
+  }
+
+  DualMutexLock(const DualMutexLock&) = delete;
+  DualMutexLock& operator=(const DualMutexLock&) = delete;
+
+ private:
+  Mutex& a_;
+  Mutex& b_;
+};
+
+}  // namespace coverpack
+
+#endif  // COVERPACK_UTIL_MUTEX_H_

@@ -34,8 +34,8 @@ Rng::Rng(uint64_t seed) {
 }
 
 uint64_t Rng::Next() {
-  uint64_t result = Rotl(state_[1] * 5, 7) * 9;
-  uint64_t t = state_[1] << 17;
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
   state_[2] ^= state_[0];
   state_[3] ^= state_[1];
   state_[1] ^= state_[2];
@@ -52,7 +52,7 @@ uint64_t Rng::Uniform(uint64_t bound) {
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
   uint64_t low = static_cast<uint64_t>(m);
   if (low < bound) {
-    uint64_t threshold = -bound % bound;
+    const uint64_t threshold = -bound % bound;
     while (low < threshold) {
       x = Next();
       m = static_cast<__uint128_t>(x) * bound;
@@ -89,8 +89,8 @@ ZipfSampler::ZipfSampler(uint64_t n, double skew) {
 }
 
 uint64_t ZipfSampler::Sample(Rng* rng) const {
-  double u = rng->NextDouble();
-  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   if (it == cdf_.end()) return cdf_.size() - 1;
   return static_cast<uint64_t>(it - cdf_.begin());
 }

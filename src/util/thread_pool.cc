@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace coverpack {
 
@@ -18,16 +20,20 @@ struct PoolTaskScope {
   ~PoolTaskScope() { --tl_pool_task_depth; }
 };
 
-std::mutex& GlobalPoolMutex() {
-  static std::mutex mutex;
-  return mutex;
-}
+/// The process-global pool registry: the pool pointer and requested size
+/// under one annotated mutex. The pool itself is leaked on purpose:
+/// joining workers during static destruction is a well-known shutdown
+/// hazard, and the pool owns no resources the OS does not reclaim.
+struct GlobalPoolState {
+  Mutex mutex;
+  ThreadPool* pool CP_GUARDED_BY(mutex) = nullptr;
+  unsigned threads CP_GUARDED_BY(mutex) = 0;  // 0 = not set; fall back to hw concurrency
+};
 
-// Leaked on purpose: joining workers during static destruction is a
-// well-known shutdown hazard, and the pool owns no resources the OS does
-// not reclaim.
-ThreadPool* g_global_pool = nullptr;
-unsigned g_global_threads = 0;  // 0 = not set; fall back to hw concurrency
+GlobalPoolState& GlobalPool() {
+  static GlobalPoolState state;
+  return state;
+}
 
 unsigned DefaultThreads() {
   unsigned hw = std::thread::hardware_concurrency();
@@ -46,7 +52,7 @@ ThreadPool::ThreadPool(unsigned num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     stopping_ = true;
     // Unstarted Submit closures are discarded; queued batch announcements
     // are safe to drop because every batch's submitter drains it itself.
@@ -69,32 +75,32 @@ void ThreadPool::RunShard(Batch* batch, size_t shard) {
     // accounted, not executed) so a poisoned batch drains quickly.
     bool poisoned;
     {
-      std::lock_guard<std::mutex> lock(batch->error_mutex);
+      MutexLock lock(batch->error_mutex);
       poisoned = batch->error != nullptr;
     }
     if (!poisoned) {
-      size_t shard_begin = batch->begin + shard * batch->grain;
-      size_t shard_end = std::min(shard_begin + batch->grain, batch->end);
+      const size_t shard_begin = batch->begin + shard * batch->grain;
+      const size_t shard_end = std::min(shard_begin + batch->grain, batch->end);
       try {
         (*batch->fn)(shard_begin, shard_end, shard);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(batch->error_mutex);
+        MutexLock lock(batch->error_mutex);
         if (batch->error == nullptr) batch->error = std::current_exception();
       }
     }
   }
-  size_t done = batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const size_t done = batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (done == batch->shards) {
     // Lock/unlock pairs with the submitter's predicate re-check so the
     // notify cannot slip between its check and its wait.
-    { std::lock_guard<std::mutex> lock(batch->done_mutex); }
+    { MutexLock lock(batch->done_mutex); }
     batch->done_cv.notify_all();
   }
 }
 
 void ThreadPool::DrainBatch(Batch* batch) {
   for (;;) {
-    size_t shard = batch->next.fetch_add(1, std::memory_order_relaxed);
+    const size_t shard = batch->next.fetch_add(1, std::memory_order_relaxed);
     if (shard >= batch->shards) return;
     RunShard(batch, shard);
   }
@@ -103,7 +109,7 @@ void ThreadPool::DrainBatch(Batch* batch) {
 void ThreadPool::ParallelForShards(size_t begin, size_t end, size_t grain,
                                    const ShardFn& fn) {
   grain = std::max<size_t>(1, grain);
-  size_t shards = NumShards(begin, end, grain);
+  const size_t shards = NumShards(begin, end, grain);
   if (shards == 0) return;
 
   // Serial path: no workers, or nothing to share. Exceptions propagate
@@ -112,7 +118,7 @@ void ThreadPool::ParallelForShards(size_t begin, size_t end, size_t grain,
   if (num_threads_ <= 1 || shards == 1) {
     for (size_t shard = 0; shard < shards; ++shard) {
       PoolTaskScope scope;
-      size_t shard_begin = begin + shard * grain;
+      const size_t shard_begin = begin + shard * grain;
       fn(shard_begin, std::min(shard_begin + grain, end), shard);
     }
     return;
@@ -127,9 +133,9 @@ void ThreadPool::ParallelForShards(size_t begin, size_t end, size_t grain,
 
   // Announce the batch to at most (workers, shards-1) helpers — the
   // calling thread takes the remaining share itself.
-  size_t announcements = std::min<size_t>(num_threads_ - 1, shards - 1);
+  const size_t announcements = std::min<size_t>(num_threads_ - 1, shards - 1);
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     if (!stopping_) {
       for (size_t i = 0; i < announcements; ++i) {
         queue_.push_back(QueueEntry{batch, nullptr});
@@ -147,13 +153,21 @@ void ThreadPool::ParallelForShards(size_t begin, size_t end, size_t grain,
   // least one thread (its creator) claiming shards.
   DrainBatch(batch.get());
 
-  std::unique_lock<std::mutex> lock(batch->done_mutex);
-  batch->done_cv.wait(lock, [&] {
-    return batch->completed.load(std::memory_order_acquire) == batch->shards;
-  });
-  lock.unlock();
+  {
+    // Explicit predicate loop (not the lambda overload): the thread-safety
+    // analysis does not carry held capabilities into lambda bodies.
+    MutexLock lock(batch->done_mutex);
+    while (batch->completed.load(std::memory_order_acquire) != batch->shards) {
+      batch->done_cv.wait(batch->done_mutex);
+    }
+  }
 
-  if (batch->error != nullptr) std::rethrow_exception(batch->error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(batch->error_mutex);
+    error = batch->error;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
@@ -172,7 +186,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     if (!stopping_) queue_.push_back(QueueEntry{nullptr, std::move(fn)});
   }
   queue_cv_.notify_one();
@@ -182,8 +196,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     QueueEntry entry;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(queue_mutex_);
+      while (!stopping_ && queue_.empty()) queue_cv_.wait(queue_mutex_);
       if (stopping_) return;
       entry = std::move(queue_.front());
       queue_.pop_front();
@@ -202,27 +216,30 @@ void ThreadPool::WorkerLoop() {
 bool ThreadPool::InPoolTask() { return tl_pool_task_depth > 0; }
 
 ThreadPool& ThreadPool::Global() {
-  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
-  if (g_global_pool == nullptr) {
-    unsigned threads = g_global_threads == 0 ? DefaultThreads() : g_global_threads;
-    g_global_pool = new ThreadPool(threads);
+  GlobalPoolState& state = GlobalPool();
+  MutexLock lock(state.mutex);
+  if (state.pool == nullptr) {
+    unsigned threads = state.threads == 0 ? DefaultThreads() : state.threads;
+    state.pool = new ThreadPool(threads);
   }
-  return *g_global_pool;
+  return *state.pool;
 }
 
 void ThreadPool::SetGlobalThreads(unsigned num_threads) {
   num_threads = std::max(1u, num_threads);
-  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
-  g_global_threads = num_threads;
-  if (g_global_pool != nullptr && g_global_pool->num_threads() != num_threads) {
-    delete g_global_pool;  // joins the old workers; no work may be in flight
-    g_global_pool = nullptr;
+  GlobalPoolState& state = GlobalPool();
+  MutexLock lock(state.mutex);
+  state.threads = num_threads;
+  if (state.pool != nullptr && state.pool->num_threads() != num_threads) {
+    delete state.pool;  // joins the old workers; no work may be in flight
+    state.pool = nullptr;
   }
 }
 
 unsigned ThreadPool::GlobalThreads() {
-  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
-  if (g_global_threads != 0) return g_global_threads;
+  GlobalPoolState& state = GlobalPool();
+  MutexLock lock(state.mutex);
+  if (state.threads != 0) return state.threads;
   return DefaultThreads();
 }
 

@@ -34,9 +34,11 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace coverpack {
 
@@ -117,10 +119,10 @@ class ThreadPool {
     const ShardFn* fn = nullptr;
     std::atomic<size_t> next{0};
     std::atomic<size_t> completed{0};
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-    std::mutex error_mutex;
-    std::exception_ptr error;
+    Mutex done_mutex;
+    std::condition_variable_any done_cv;
+    Mutex error_mutex;
+    std::exception_ptr error CP_GUARDED_BY(error_mutex);
   };
 
   /// A queue entry: either a batch announcement or a Submit closure.
@@ -139,10 +141,10 @@ class ThreadPool {
   void RunShard(Batch* batch, size_t shard);
 
   unsigned num_threads_;
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<QueueEntry> queue_;
-  bool stopping_ = false;
+  Mutex queue_mutex_;
+  std::condition_variable_any queue_cv_;
+  std::deque<QueueEntry> queue_ CP_GUARDED_BY(queue_mutex_);
+  bool stopping_ CP_GUARDED_BY(queue_mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,8 @@
+// cplint fixture: a suppressed unannotated mutex member.
+#include <mutex>
+
+class Ledger {
+ private:
+  // cplint: allow(audit-pairing)
+  std::mutex mutex_;
+};

@@ -1,0 +1,14 @@
+// cplint fixture: mutex-guarded state without thread-safety annotations.
+#include <mutex>
+
+class Ledger {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mutex_;
+  long count_ = 0;
+};

@@ -1,0 +1,15 @@
+// cplint fixture: mutex-guarded state carrying the CP_ annotations.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class Ledger {
+ public:
+  void Bump() {
+    MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  Mutex mutex_;
+  long count_ CP_GUARDED_BY(mutex_) = 0;
+};

@@ -1,0 +1,5 @@
+// cplint fixture: a suppressed out-of-line charge.
+void Leak(LoadTracker& tracker, uint32_t round, uint32_t server, uint64_t n) {
+  // cplint: allow(charge-choke-point)
+  tracker.Add(round, server, n);
+}

@@ -1,0 +1,7 @@
+// cplint fixture: charges the load tracker outside mpc/exchange.cc.
+void Leak(LoadTracker& tracker, uint32_t round, uint32_t server, uint64_t n) {
+  tracker.Add(round, server, n);
+}
+void LeakViaAccessor(Cluster* cluster, uint32_t round, uint32_t server, uint64_t n) {
+  cluster->tracker().Add(round, server, n);
+}

@@ -1,0 +1,4 @@
+// cplint fixture: moves tuples the sanctioned way, through Exchange.
+void Route(Cluster& cluster, ExchangePlan& plan) {
+  Exchange::Execute(cluster, plan);  // charging happens inside
+}

@@ -1,0 +1,8 @@
+// cplint fixture: a suppressed missing include.
+#ifndef CPLINT_FIXTURE_INCLUDE_HYGIENE_ALLOWED_H_
+#define CPLINT_FIXTURE_INCLUDE_HYGIENE_ALLOWED_H_
+
+// cplint: allow(include-hygiene)
+inline void Check(int x) { CP_CHECK(x > 0); }
+
+#endif  // CPLINT_FIXTURE_INCLUDE_HYGIENE_ALLOWED_H_

@@ -1,0 +1,13 @@
+// cplint fixture: uses util/ symbols without including their headers.
+#ifndef CPLINT_FIXTURE_INCLUDE_HYGIENE_BAD_H_
+#define CPLINT_FIXTURE_INCLUDE_HYGIENE_BAD_H_
+
+inline void Check(int x) { CP_CHECK(x > 0); }
+
+class Guarded {
+ private:
+  Mutex mutex_;
+  int value_ CP_GUARDED_BY(mutex_) = 0;
+};
+
+#endif  // CPLINT_FIXTURE_INCLUDE_HYGIENE_BAD_H_

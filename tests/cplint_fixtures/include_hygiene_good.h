@@ -1,0 +1,17 @@
+// cplint fixture: includes what it uses.
+#ifndef CPLINT_FIXTURE_INCLUDE_HYGIENE_GOOD_H_
+#define CPLINT_FIXTURE_INCLUDE_HYGIENE_GOOD_H_
+
+#include "util/logging.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+inline void Check(int x) { CP_CHECK(x > 0); }
+
+class Guarded {
+ private:
+  Mutex mutex_;
+  int value_ CP_GUARDED_BY(mutex_) = 0;
+};
+
+#endif  // CPLINT_FIXTURE_INCLUDE_HYGIENE_GOOD_H_

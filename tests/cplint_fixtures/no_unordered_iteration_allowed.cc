@@ -1,0 +1,10 @@
+// cplint fixture: a suppressed unordered iteration (commutative sum).
+#include <unordered_map>
+
+long Sum() {
+  std::unordered_map<int, long> counts;
+  long total = 0;
+  // cplint: allow(no-unordered-iteration)
+  for (const auto& [key, value] : counts) total += value;
+  return total;
+}

@@ -1,0 +1,9 @@
+// cplint fixture: range-for over an unordered container.
+#include <unordered_map>
+
+long Sum(const std::unordered_map<int, long>& unused) {
+  std::unordered_map<int, long> counts;
+  long total = 0;
+  for (const auto& [key, value] : counts) total += value;
+  return total;
+}

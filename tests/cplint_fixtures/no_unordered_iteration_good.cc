@@ -1,0 +1,12 @@
+// cplint fixture: ordered iteration patterns that must stay quiet —
+// a vector range-for, a classic indexed for over an unordered map's
+// size, and lookups without iteration.
+#include <unordered_map>
+#include <vector>
+
+long Sum(const std::unordered_map<int, long>& counts) {
+  std::vector<int> keys;
+  for (int key : keys) (void)key;
+  for (size_t i = 0; i < keys.size(); ++i) (void)i;
+  return static_cast<long>(counts.size());
+}

@@ -1,0 +1,8 @@
+// cplint fixture: a suppressed ambient RNG.
+#include <random>
+
+int Draw() {
+  // cplint: allow(no-unseeded-rng)
+  std::random_device rd;
+  return static_cast<int>(rd());
+}

@@ -1,0 +1,9 @@
+// cplint fixture: ambient randomness sources.
+#include <random>
+
+int Draw() {
+  std::random_device rd;
+  std::mt19937 gen;
+  return static_cast<int>(gen() + rd());
+}
+int Legacy() { return rand(); }

@@ -1,0 +1,9 @@
+// cplint fixture: all randomness derives from the experiment seed.
+#include <random>
+
+int Draw(uint64_t seed, uint32_t shard) {
+  std::mt19937_64 gen(SplitSeed(seed, shard));
+  return static_cast<int>(gen());
+}
+// Identifiers containing "rand" (operand, Random) must not trip the rule.
+int operand(int x) { return x; }

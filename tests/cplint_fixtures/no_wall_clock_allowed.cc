@@ -1,0 +1,6 @@
+// cplint fixture: a suppressed wall-clock read.
+#include <ctime>
+
+long Stamp() {
+  return time(nullptr);  // cplint: allow(no-wall-clock)
+}

@@ -1,0 +1,9 @@
+// cplint fixture: wall-clock reads that would leak into reports.
+#include <chrono>
+#include <ctime>
+
+long Stamp() {
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+  return time(nullptr);
+}

@@ -1,0 +1,11 @@
+// cplint fixture: monotonic timing only, and identifiers that merely
+// contain clock-ish substrings (runtime() etc.) must not trip the rule.
+#include <chrono>
+
+long Elapsed() {
+  auto start = std::chrono::steady_clock::now();
+  auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(stop - start).count();
+}
+long runtime() { return 0; }
+long Total() { return runtime(); }

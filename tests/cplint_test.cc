@@ -1,0 +1,160 @@
+/// \file cplint_test.cc
+/// \brief Proves every cplint rule live: fires on the bad fixture, stays
+/// quiet on the good one, and honors `// cplint: allow(<rule>)`.
+
+#include "cplint.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace coverpack {
+namespace cplint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(CPLINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream stream(FixturePath(name), std::ios::binary);
+  EXPECT_TRUE(stream.good()) << "missing fixture " << name;
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return buffer.str();
+}
+
+std::set<std::string> RuleNames(const std::vector<Finding>& findings) {
+  std::set<std::string> names;
+  for (const auto& finding : findings) names.insert(finding.rule);
+  return names;
+}
+
+struct RuleFixture {
+  std::string rule;
+  std::string stem;       // fixture file stem
+  std::string extension;  // ".cc" or ".h"
+};
+
+const std::vector<RuleFixture>& Fixtures() {
+  static const std::vector<RuleFixture> kFixtures = {
+      {"charge-choke-point", "charge_choke_point", ".cc"},
+      {"no-wall-clock", "no_wall_clock", ".cc"},
+      {"no-unseeded-rng", "no_unseeded_rng", ".cc"},
+      {"no-unordered-iteration", "no_unordered_iteration", ".cc"},
+      {"audit-pairing", "audit_pairing", ".cc"},
+      {"include-hygiene", "include_hygiene", ".h"},
+  };
+  return kFixtures;
+}
+
+TEST(CplintCatalog, HasAtLeastSixRulesAndFixturesCoverThem) {
+  EXPECT_GE(Rules().size(), 6u);
+  for (const auto& fixture : Fixtures()) {
+    EXPECT_TRUE(IsRule(fixture.rule)) << fixture.rule;
+  }
+  EXPECT_FALSE(IsRule("no-such-rule"));
+}
+
+TEST(CplintRules, BadFixturesFire) {
+  for (const auto& fixture : Fixtures()) {
+    const auto findings = LintFile(FixturePath(fixture.stem + "_bad" + fixture.extension), {});
+    EXPECT_TRUE(RuleNames(findings).count(fixture.rule) > 0)
+        << fixture.rule << " did not fire on its bad fixture";
+    for (const auto& finding : findings) {
+      EXPECT_GT(finding.line, 0u);
+      EXPECT_FALSE(finding.message.empty());
+    }
+  }
+}
+
+TEST(CplintRules, GoodFixturesStayQuiet) {
+  for (const auto& fixture : Fixtures()) {
+    const auto findings =
+        LintFile(FixturePath(fixture.stem + "_good" + fixture.extension), {});
+    EXPECT_TRUE(findings.empty())
+        << fixture.rule << " false-positive: " << findings[0].rule << " at line "
+        << findings[0].line << ": " << findings[0].message;
+  }
+}
+
+TEST(CplintRules, AllowDirectiveSuppresses) {
+  for (const auto& fixture : Fixtures()) {
+    const auto findings =
+        LintFile(FixturePath(fixture.stem + "_allowed" + fixture.extension), {});
+    EXPECT_TRUE(findings.empty())
+        << fixture.rule << " ignored its allow(): " << findings[0].rule << " at line "
+        << findings[0].line;
+  }
+}
+
+TEST(CplintRules, RuleFilterSelectsSubset) {
+  const std::string bad = ReadFixture("charge_choke_point_bad.cc");
+  // Filtered to an unrelated rule, the charge leak must not be reported.
+  EXPECT_TRUE(LintContent("src/foo.cc", bad, {"no-wall-clock"}).empty());
+  // Filtered to the matching rule, it must be.
+  EXPECT_FALSE(LintContent("src/foo.cc", bad, {"charge-choke-point"}).empty());
+}
+
+TEST(CplintRules, ChargeChokePointExemptsExchange) {
+  const std::string bad = ReadFixture("charge_choke_point_bad.cc");
+  EXPECT_FALSE(LintContent("src/other.cc", bad, {"charge-choke-point"}).empty());
+  EXPECT_TRUE(LintContent("src/mpc/exchange.cc", bad, {"charge-choke-point"}).empty());
+}
+
+TEST(CplintRules, WallClockExemptsTelemetryTimerInternals) {
+  const std::string bad = ReadFixture("no_wall_clock_bad.cc");
+  EXPECT_FALSE(LintContent("src/other.cc", bad, {"no-wall-clock"}).empty());
+  EXPECT_TRUE(LintContent("src/telemetry/metrics.cc", bad, {"no-wall-clock"}).empty());
+}
+
+TEST(CplintRules, IncludeHygieneExemptsDefiningHeader) {
+  // util/mutex.h itself mentions Mutex without including util/mutex.h.
+  const std::string content = "class Mutex {};\n";
+  EXPECT_FALSE(LintContent("src/util/other.h", content, {"include-hygiene"}).empty());
+  EXPECT_TRUE(LintContent("src/util/mutex.h", content, {"include-hygiene"}).empty());
+}
+
+TEST(CplintStrip, DropsCommentsAndLiteralContents) {
+  const std::string content =
+      "int a = 1;  // trailing time( comment\n"
+      "/* block rand() */ int b = 2;\n"
+      "const char* s = \"system_clock\";\n"
+      "const char* r = R\"(random_device)\";\n";
+  const auto lines = StripForAnalysis(content);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].find("time("), std::string::npos);
+  EXPECT_EQ(lines[1].find("rand()"), std::string::npos);
+  EXPECT_NE(lines[1].find("int b = 2;"), std::string::npos);
+  EXPECT_EQ(lines[2].find("system_clock"), std::string::npos);
+  EXPECT_EQ(lines[3].find("random_device"), std::string::npos);
+}
+
+TEST(CplintStrip, CommentsCannotSuppressViaStrippedText) {
+  // The directive parser reads raw lines; stripped text drops comments, so a
+  // rule-token inside a comment never fires and an allow() still works.
+  const std::string content =
+      "// mentions tracker.Add( in prose only\n"
+      "int x = 0;\n";
+  EXPECT_TRUE(LintContent("src/foo.cc", content, {"charge-choke-point"}).empty());
+}
+
+TEST(CplintIo, UnreadableFileReportsIoError) {
+  const auto findings = LintFile(FixturePath("does_not_exist.cc"), {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "io-error");
+}
+
+TEST(CplintCollect, FindsFixtureSourcesSorted) {
+  const auto sources = CollectSources(CPLINT_FIXTURE_DIR);
+  EXPECT_GE(sources.size(), 18u);
+  for (size_t i = 1; i < sources.size(); ++i) EXPECT_LE(sources[i - 1], sources[i]);
+}
+
+}  // namespace
+}  // namespace cplint
+}  // namespace coverpack

@@ -1,0 +1,70 @@
+/// \file cplint_main.cc
+/// \brief CLI driver for cplint. Usage:
+///
+///   cplint [--rule=<name>]... [--list-rules] <path>...
+///
+/// Paths may be files or directories (directories are walked recursively
+/// for .h/.cc). Exit status: 0 clean, 1 findings, 2 usage error.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cplint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> rules;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : coverpack::cplint::Rules()) {
+        std::cout << rule.name << ": " << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg.rfind("--rule=", 0) == 0) {
+      const std::string name = arg.substr(7);
+      if (!coverpack::cplint::IsRule(name)) {
+        std::cerr << "cplint: unknown rule '" << name << "' (see --list-rules)\n";
+        return 2;
+      }
+      rules.push_back(name);
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "cplint: unknown flag '" << arg << "'\n"
+                << "usage: cplint [--rule=<name>]... [--list-rules] <path>...\n";
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: cplint [--rule=<name>]... [--list-rules] <path>...\n";
+    return 2;
+  }
+
+  size_t files = 0;
+  std::vector<coverpack::cplint::Finding> findings;
+  for (const std::string& path : paths) {
+    const std::vector<std::string> sources = coverpack::cplint::CollectSources(path);
+    if (sources.empty()) {
+      std::cerr << "cplint: no lintable files under '" << path << "'\n";
+      return 2;
+    }
+    for (const std::string& source : sources) {
+      ++files;
+      for (auto& finding : coverpack::cplint::LintFile(source, rules)) {
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+
+  for (const auto& finding : findings) {
+    std::cout << finding.file << ":" << finding.line << ": " << finding.rule << ": "
+              << finding.message << "\n";
+  }
+  std::cerr << "cplint: " << files << " files, " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << "\n";
+  return findings.empty() ? 0 : 1;
+}
