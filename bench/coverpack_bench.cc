@@ -8,6 +8,9 @@
 ///   coverpack_bench --list          # list experiment ids and exit
 ///   coverpack_bench --fast          # only the CI fast subset
 ///   coverpack_bench --filter table1 # case-insensitive substring, repeatable
+///   coverpack_bench --filter='thm5*'  # '*'/'?' terms are whole-id globs
+///   coverpack_bench --clients=8 --arrival=bursty --zipf-s=1.4 --no-cache
+///                                   # reshape the service_throughput sweep
 ///   coverpack_bench --out path.json # default: BENCH_results.json in CWD
 ///   coverpack_bench --threads=8     # pool size (default: hw concurrency)
 ///   coverpack_bench --compare-serial  # also time --threads=1, stamp speedup
@@ -39,6 +42,7 @@
 #include "experiments/experiments.h"
 #include "experiments/runners.h"
 #include "resilience/fault_injector.h"
+#include "service/workload_sim.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/run_report.h"
 #include "util/thread_pool.h"
@@ -56,6 +60,7 @@ struct DriverOptions {
   bool compare_serial = false;
   uint64_t seed = 0;  // 0 = historical per-experiment seeds
   resilience::FaultSpec faults;
+  ServiceBenchOverrides service;
 };
 
 int Usage(std::ostream& os, int code) {
@@ -64,11 +69,15 @@ int Usage(std::ostream& os, int code) {
         "                       [--crash-rate=R] [--drop-rate=R] [--dup-rate=R]\n"
         "                       [--straggler-rate=R] [--straggler-severity=X]\n"
         "                       [--fault-seed=U] [--max-attempts=N]\n"
+        "                       [--clients=N] [--arrival=MODE] [--zipf-s=X]\n"
+        "                       [--no-cache]\n"
         "  --list          list experiment ids and exit\n"
         "  --fast          run only the fast subset (the CI default)\n"
-        "  --filter SUBSTR keep experiments whose id or display id contains\n"
-        "                  SUBSTR (case-insensitive); repeatable, OR-ed;\n"
-        "                  --filter=a,b,c takes a comma-separated list\n"
+        "  --filter TERM   keep experiments whose id or display id matches\n"
+        "                  TERM (case-insensitive); repeatable, OR-ed;\n"
+        "                  --filter=a,b,c takes a comma-separated list; a\n"
+        "                  TERM with '*' or '?' is a whole-id glob\n"
+        "                  (--filter='thm5*'), otherwise a substring\n"
         "  --out PATH      where to write the JSON results\n"
         "                  (default BENCH_results.json)\n"
         "  --threads=N     thread-pool size; results are bit-identical at\n"
@@ -81,7 +90,11 @@ int Usage(std::ostream& os, int code) {
         "  --straggler-severity=X --fault-seed=U --max-attempts=N\n"
         "                  run every experiment under deterministic fault\n"
         "                  injection; results stay bit-identical and the\n"
-        "                  recovery cost lands in fault.*/recovery.* metrics\n";
+        "                  recovery cost lands in fault.*/recovery.* metrics\n"
+        "  --clients=N --arrival=open|closed|bursty --zipf-s=X --no-cache\n"
+        "                  reshape the service_throughput sweep: fix the\n"
+        "                  client count, arrival discipline, or popularity\n"
+        "                  skew, or run only the cache-off variant\n";
   return code;
 }
 
@@ -114,6 +127,7 @@ int RunDriver(const DriverOptions& options) {
 
   unsigned threads = options.threads != 0 ? options.threads : ThreadPool::GlobalThreads();
   SetExperimentBaseSeed(options.seed);
+  SetServiceBenchOverrides(options.service);
   // With any fault flag set, the whole selection runs under the injector —
   // including the serial reference runs, which still compare identical.
   std::unique_ptr<resilience::ScopedFaultInjection> injection;
@@ -258,6 +272,21 @@ int main(int argc, char** argv) {
       long value = std::strtol(arg.c_str() + 15, nullptr, 10);
       if (value < 1) return coverpack::bench::Usage(std::cerr, 2);
       options.faults.max_attempts = static_cast<uint32_t>(value);
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      long value = std::strtol(arg.c_str() + 10, nullptr, 10);
+      if (value < 1) return coverpack::bench::Usage(std::cerr, 2);
+      options.service.clients = static_cast<uint32_t>(value);
+    } else if (arg.rfind("--arrival=", 0) == 0) {
+      options.service.arrival = arg.substr(10);
+      if (!coverpack::service::ParseArrivalMode(options.service.arrival).has_value()) {
+        std::cerr << "coverpack_bench: --arrival must be open, closed, or bursty\n";
+        return coverpack::bench::Usage(std::cerr, 2);
+      }
+    } else if (arg.rfind("--zipf-s=", 0) == 0) {
+      options.service.zipf_skew = std::strtod(arg.c_str() + 9, nullptr);
+      if (options.service.zipf_skew <= 0.0) return coverpack::bench::Usage(std::cerr, 2);
+    } else if (arg == "--no-cache") {
+      options.service.no_cache = true;
     } else if (arg == "--help" || arg == "-h") {
       return coverpack::bench::Usage(std::cout, 0);
     } else {

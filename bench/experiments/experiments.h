@@ -40,8 +40,10 @@ const std::vector<Experiment>& AllExperiments();
 /// Exact-id lookup; nullptr when absent.
 const Experiment* FindExperiment(const std::string& id);
 
-/// Case-insensitive substring match against id and display_id — the
-/// --filter semantics of the unified driver.
+/// One --filter term against id and display_id, case-insensitive. Terms
+/// containing '*' or '?' are whole-id globs ("thm5*" matches
+/// thm5_optimal_acyclic and thm5_random_queries); plain terms keep the
+/// historical substring semantics.
 bool ExperimentMatchesFilter(const Experiment& experiment, const std::string& filter);
 
 /// Runs one experiment by exact id, printing its text report, and returns

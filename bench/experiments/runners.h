@@ -7,6 +7,9 @@
 #ifndef COVERPACK_BENCH_EXPERIMENTS_RUNNERS_H_
 #define COVERPACK_BENCH_EXPERIMENTS_RUNNERS_H_
 
+#include <cstdint>
+#include <string>
+
 #include "experiments/experiments.h"
 
 namespace coverpack {
@@ -42,6 +45,18 @@ telemetry::RunReport RunAblationPolicy(const Experiment& e);
 telemetry::RunReport RunEmReduction(const Experiment& e);
 telemetry::RunReport RunOutputSensitivity(const Experiment& e);
 telemetry::RunReport RunResilienceOverhead(const Experiment& e);
+telemetry::RunReport RunServiceThroughput(const Experiment& e);
+
+/// Driver-flag overrides for the service_throughput experiment — the
+/// --clients / --arrival / --zipf-s / --no-cache flags of coverpack_bench.
+/// Defaults leave the registered sweep untouched.
+struct ServiceBenchOverrides {
+  uint32_t clients = 0;    ///< 0 = default client sweep {2, 8, 16}
+  std::string arrival;     ///< "" = open loop plus bursty/closed extras
+  double zipf_skew = 0.0;  ///< <= 0 = WorkloadConfig default
+  bool no_cache = false;   ///< true = run only the cache-off variant
+};
+void SetServiceBenchOverrides(const ServiceBenchOverrides& overrides);
 
 }  // namespace bench
 }  // namespace coverpack

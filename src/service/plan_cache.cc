@@ -1,0 +1,84 @@
+#include "service/plan_cache.h"
+
+#include "util/logging.h"
+
+namespace coverpack {
+namespace service {
+
+PlanCacheStats PlanCacheStats::Since(const PlanCacheStats& earlier) const {
+  PlanCacheStats delta = *this;
+  delta.hits -= earlier.hits;
+  delta.misses -= earlier.misses;
+  delta.insertions -= earlier.insertions;
+  delta.evictions -= earlier.evictions;
+  delta.collisions -= earlier.collisions;
+  return delta;
+}
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
+  CP_CHECK(capacity_ > 0) << "PlanCache needs a positive capacity";
+}
+
+std::optional<CachedPlan> PlanCache::Lookup(const PlanCacheKey& key,
+                                            const std::string& canonical_form) {
+  MutexLock lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second->second.canonical_form != canonical_form) {
+    // A 64-bit shape-hash collision between structurally distinct queries:
+    // never serve the foreign plan. The entry stays (its own query still
+    // hits); the colliding query just plans fresh every time.
+    ++stats_.collisions;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void PlanCache::Insert(const PlanCacheKey& key, CachedPlan plan) {
+  MutexLock lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    stats_.size = lru_.size();
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  stats_.size = lru_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  MutexLock lock(mutex_);
+  PlanCacheStats snapshot = stats_;
+  snapshot.size = lru_.size();
+  snapshot.capacity = capacity_;
+  return snapshot;
+}
+
+size_t PlanCache::size() const {
+  MutexLock lock(mutex_);
+  return lru_.size();
+}
+
+void PlanCache::Clear() {
+  MutexLock lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_ = PlanCacheStats{};
+}
+
+}  // namespace service
+}  // namespace coverpack

@@ -1,0 +1,59 @@
+#include "service/workload_sim.h"
+
+#include "util/logging.h"
+
+namespace coverpack {
+namespace service {
+
+const char* ArrivalModeName(ArrivalMode mode) {
+  switch (mode) {
+    case ArrivalMode::kOpenLoop:
+      return "open";
+    case ArrivalMode::kClosedLoop:
+      return "closed";
+    case ArrivalMode::kBursty:
+      return "bursty";
+  }
+  return "open";
+}
+
+std::optional<ArrivalMode> ParseArrivalMode(const std::string& name) {
+  if (name == "open") return ArrivalMode::kOpenLoop;
+  if (name == "closed") return ArrivalMode::kClosedLoop;
+  if (name == "bursty") return ArrivalMode::kBursty;
+  return std::nullopt;
+}
+
+ClientSim::ClientSim(const WorkloadConfig& config, uint32_t client_id, size_t catalog_size)
+    : config_(config),
+      rng_(SplitSeed(config.seed, client_id)),
+      zipf_(catalog_size, config.zipf_skew) {
+  CP_CHECK(catalog_size > 0) << "clients need a nonempty query catalog";
+  CP_CHECK(config.queries_per_client > 0);
+}
+
+ClientSim::Draw ClientSim::NextArrival() {
+  CP_CHECK(!Done());
+  Draw draw;
+  // Integer delays in [1, 2*mean]: mean-matched without floating point, so
+  // tick arithmetic stays exact and bit-stable everywhere.
+  switch (config_.mode) {
+    case ArrivalMode::kOpenLoop:
+    case ArrivalMode::kClosedLoop:
+      draw.delay_ticks = 1 + rng_.Uniform(2 * config_.mean_interarrival_ticks);
+      break;
+    case ArrivalMode::kBursty:
+      if (issued_ % config_.burst_length == 0) {
+        draw.delay_ticks = 1 + rng_.Uniform(2 * config_.burst_gap_ticks);
+      } else {
+        draw.delay_ticks = 1;
+      }
+      break;
+  }
+  draw.catalog_index = static_cast<uint32_t>(zipf_.Sample(&rng_));
+  ++issued_;
+  return draw;
+}
+
+}  // namespace service
+}  // namespace coverpack

@@ -1,0 +1,89 @@
+/// \file workload_sim.h
+/// \brief Simulated clients issuing registered queries against the service.
+///
+/// Every client is a deterministic stream of (inter-arrival delay, catalog
+/// index) draws from its own split Rng stream — SplitSeed(seed, client) —
+/// so the offered workload depends only on the configuration, never on
+/// thread scheduling. Three arrival disciplines:
+///
+///  * open loop — clients issue on their own clock regardless of
+///    completions (queueing builds up under overload);
+///  * closed loop — a client issues its next query one think-delay after
+///    its previous query completed (load self-limits);
+///  * bursty — open loop, but queries arrive in back-to-back bursts
+///    separated by long gaps (phase behavior for the scheduler).
+///
+/// Which catalog entry a client asks for follows a Zipf(skew) popularity
+/// distribution over the registered catalog: rank 0 is the most popular.
+/// Skewed popularity is what makes the plan cache earn its keep inside a
+/// single cold run.
+
+#ifndef COVERPACK_SERVICE_WORKLOAD_SIM_H_
+#define COVERPACK_SERVICE_WORKLOAD_SIM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/random.h"
+
+namespace coverpack {
+namespace service {
+
+/// Client arrival discipline.
+enum class ArrivalMode : uint8_t {
+  kOpenLoop,
+  kClosedLoop,
+  kBursty,
+};
+
+/// Stable names for configs/reports: "open", "closed", "bursty".
+const char* ArrivalModeName(ArrivalMode mode);
+
+/// Parses an ArrivalModeName; nullopt on anything else.
+std::optional<ArrivalMode> ParseArrivalMode(const std::string& name);
+
+/// The simulated client population.
+struct WorkloadConfig {
+  uint32_t clients = 8;
+  uint32_t queries_per_client = 8;
+  ArrivalMode mode = ArrivalMode::kOpenLoop;
+  /// Mean inter-arrival delay in ticks (open loop), mean think time
+  /// (closed loop), and the intra-burst gap is 1 tick (bursty).
+  uint64_t mean_interarrival_ticks = 32;
+  uint32_t burst_length = 8;          ///< bursty: queries per burst
+  uint64_t burst_gap_ticks = 512;     ///< bursty: mean gap between bursts
+  double zipf_skew = 1.1;             ///< popularity skew over the catalog
+  uint64_t seed = 0x5EAF00D;
+};
+
+/// One simulated client: a replayable draw stream over its query budget.
+class ClientSim {
+ public:
+  ClientSim(const WorkloadConfig& config, uint32_t client_id, size_t catalog_size);
+
+  /// True once the client has issued its full queries_per_client budget.
+  bool Done() const { return issued_ >= config_.queries_per_client; }
+
+  uint32_t issued() const { return issued_; }
+
+  /// Draws the next (delay, catalog index) pair and advances the stream.
+  /// The delay is relative to the previous issue (open/bursty) or to the
+  /// previous completion (closed loop); the caller anchors it.
+  struct Draw {
+    uint64_t delay_ticks = 0;
+    uint32_t catalog_index = 0;
+  };
+  Draw NextArrival();
+
+ private:
+  const WorkloadConfig config_;
+  uint32_t issued_ = 0;
+  Rng rng_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace service
+}  // namespace coverpack
+
+#endif  // COVERPACK_SERVICE_WORKLOAD_SIM_H_

@@ -1,0 +1,65 @@
+/// \file bench_filter_test.cc
+/// \brief Unit tests for the bench driver's --filter semantics: historical
+/// case-insensitive substring terms, plus '*'/'?' whole-id glob terms.
+/// Compiled into cp_determinism_tests because that is the test binary that
+/// links the bench experiment registry.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "experiments/experiments.h"
+
+namespace coverpack {
+namespace {
+
+std::vector<std::string> MatchingIds(const std::string& filter) {
+  std::vector<std::string> ids;
+  for (const bench::Experiment& experiment : bench::AllExperiments()) {
+    if (bench::ExperimentMatchesFilter(experiment, filter)) ids.push_back(experiment.id);
+  }
+  return ids;
+}
+
+TEST(ExperimentFilterTest, SubstringTermsKeepHistoricalSemantics) {
+  EXPECT_EQ(MatchingIds("table1"), std::vector<std::string>{"table1_complexity"});
+  // Display ids match too, case-insensitively.
+  EXPECT_EQ(MatchingIds("THEOREM5"),
+            (std::vector<std::string>{"thm5_optimal_acyclic", "thm5_random_queries"}));
+  EXPECT_TRUE(MatchingIds("no_such_experiment").empty());
+}
+
+TEST(ExperimentFilterTest, StarGlobMatchesWholeIds) {
+  EXPECT_EQ(MatchingIds("thm5*"),
+            (std::vector<std::string>{"thm5_optimal_acyclic", "thm5_random_queries"}));
+  // A glob is anchored: without a trailing '*' the prefix alone matches
+  // nothing, unlike a substring term.
+  EXPECT_TRUE(MatchingIds("thm5_optimal*").size() == 1);
+  EXPECT_TRUE(MatchingIds("thm5_optim").size() == 1);   // substring, unanchored
+  EXPECT_TRUE(MatchingIds("*_optimal_acyclic").size() == 1);
+  EXPECT_EQ(MatchingIds("service*"), std::vector<std::string>{"service_throughput"});
+  EXPECT_EQ(MatchingIds("*throughput"), std::vector<std::string>{"service_throughput"});
+  EXPECT_TRUE(MatchingIds("nosuch*").empty());
+}
+
+TEST(ExperimentFilterTest, QuestionMarkMatchesExactlyOneCharacter) {
+  // fig?_* keeps the one-digit figure experiments and excludes fig56.
+  const std::vector<std::string> ids = MatchingIds("fig?_*");
+  EXPECT_EQ(ids.size(), 5u);
+  for (const std::string& id : ids) {
+    EXPECT_NE(id, "fig56_decomposition");
+  }
+  EXPECT_EQ(MatchingIds("fig??_*"),
+            std::vector<std::string>{"fig56_decomposition"});
+}
+
+TEST(ExperimentFilterTest, GlobsSpanEmptyRunsAndAreCaseInsensitive) {
+  EXPECT_EQ(MatchingIds("**service**"), std::vector<std::string>{"service_throughput"});
+  EXPECT_EQ(MatchingIds("SERVICE*"), std::vector<std::string>{"service_throughput"});
+  // '*' alone selects everything.
+  EXPECT_EQ(MatchingIds("*").size(), bench::AllExperiments().size());
+}
+
+}  // namespace
+}  // namespace coverpack

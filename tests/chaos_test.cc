@@ -18,6 +18,7 @@
 #include "resilience/cost_model.h"
 #include "resilience/fault_injector.h"
 #include "resilience/fault_plan.h"
+#include "service/query_service.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 #include "workload/generators.h"
@@ -266,6 +267,56 @@ TEST_F(ChaosTest, RepeatedChaosRunsAreReproducible) {
   EXPECT_EQ(first_ledger.rows_duplicated, second_ledger.rows_duplicated);
   EXPECT_EQ(first_ledger.retries, second_ledger.retries);
   EXPECT_EQ(first_ledger.tuples_resent, second_ledger.tuples_resent);
+}
+
+// Recovery must compose with the query service: a full client workload —
+// many concurrent in-flight pipelines on leased sub-clusters — run under a
+// heavy mixed fault schedule yields the exact digest of the fault-free
+// run. Every completion tick, latency percentile, cache counter, and load
+// fingerprint survives the chaos.
+TEST_F(ChaosTest, QueryServiceSurvivesCrashStormBitIdentically) {
+  const auto run_service = [] {
+    service::ServiceConfig config;
+    config.total_servers = 128;
+    config.servers_per_query = 32;
+    config.workload.clients = 4;
+    config.workload.queries_per_client = 5;
+    config.workload.seed = 0xCAFE;
+    service::QueryService svc(config);
+    svc.RegisterQuery("line3", catalog::Line3(),
+                      workload::MatchingInstance(catalog::Line3(), 512));
+    svc.RegisterQuery("triangle", catalog::Triangle(),
+                      workload::MatchingInstance(catalog::Triangle(), 512));
+    svc.RegisterQuery("star3", catalog::Star(3),
+                      workload::MatchingInstance(catalog::Star(3), 512));
+    return svc.Run();
+  };
+
+  ThreadPool::SetGlobalThreads(4);
+  const service::ServiceRunStats clean = run_service();
+
+  FaultSpec spec;
+  spec.seed = 0xBAD5EED;
+  spec.crash_rate = 0.15;
+  spec.drop_rate = 0.01;
+  spec.duplicate_rate = 0.01;
+  service::ServiceRunStats faulted;
+  {
+    ScopedFaultInjection injection(spec);
+    faulted = run_service();
+  }
+  const ResilienceTelemetrySnapshot ledger = ResilienceTelemetry::Snapshot();
+  EXPECT_GT(ledger.crashes, 0u);  // the storm must actually hit the pipelines
+  EXPECT_EQ(clean.Digest(), faulted.Digest());
+
+  // And the chaotic run itself is thread-count invariant.
+  ThreadPool::SetGlobalThreads(1);
+  service::ServiceRunStats faulted_serial;
+  {
+    ScopedFaultInjection injection(spec);
+    faulted_serial = run_service();
+  }
+  EXPECT_EQ(faulted.Digest(), faulted_serial.Digest());
 }
 
 }  // namespace

@@ -1,0 +1,13 @@
+// cplint fixture: a client simulator drawing arrivals from ambient
+// randomness. In src/service/ this would make the arrival schedule differ
+// run to run, so cached-vs-cold comparisons and thread-count diffs would
+// never be byte-identical.
+#include <random>
+
+unsigned NextInterarrival() {
+  std::random_device entropy;
+  std::mt19937_64 gen;
+  return static_cast<unsigned>(gen() ^ entropy());
+}
+
+int LegacyJitter() { return rand(); }

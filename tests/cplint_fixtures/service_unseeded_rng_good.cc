@@ -1,0 +1,11 @@
+// cplint fixture: every client-sim draw derives from the experiment seed
+// split per client, matching the service's replayable arrival streams.
+#include <cstdint>
+#include <random>
+
+uint64_t SplitClientSeed(uint64_t base_seed, uint32_t client);
+
+unsigned NextInterarrival(uint64_t base_seed, uint32_t client) {
+  std::mt19937_64 gen(SplitClientSeed(base_seed, client));
+  return static_cast<unsigned>(gen());
+}

@@ -1,0 +1,18 @@
+// cplint fixture: a service latency probe that reads the wall clock. Any of
+// these in src/service/ would leak host time into throughput/p99 results and
+// break bit-identical reports across thread counts.
+#include <chrono>
+#include <ctime>
+
+struct QueryTimer {
+  long admitted_at = 0;
+  long completed_at = 0;
+};
+
+QueryTimer StampArrival() {
+  QueryTimer timer;
+  timer.admitted_at =
+      std::chrono::system_clock::now().time_since_epoch().count();
+  timer.completed_at = time(nullptr);
+  return timer;
+}

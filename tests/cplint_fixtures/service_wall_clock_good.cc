@@ -1,0 +1,15 @@
+// cplint fixture: the service's simulated tick clock. All latencies derive
+// from event timestamps on a uint64 tick axis, never from the host clock, so
+// throughput and p99 are pure functions of (config, seed).
+#include <cstdint>
+
+struct SimClock {
+  uint64_t now_ticks = 0;
+  void AdvanceTo(uint64_t t) {
+    if (t > now_ticks) now_ticks = t;
+  }
+};
+
+uint64_t QueryLatency(const SimClock& clock, uint64_t admitted_at_ticks) {
+  return clock.now_ticks - admitted_at_ticks;
+}

@@ -119,6 +119,31 @@ TEST(CplintRules, IncludeHygieneExemptsDefiningHeader) {
   EXPECT_TRUE(LintContent("src/util/mutex.h", content, {"include-hygiene"}).empty());
 }
 
+TEST(CplintRules, DeterminismRulesGuardServicePaths) {
+  // The query service's simulated clock and replayable client streams depend
+  // on these two rules holding inside src/service/ specifically: prove the
+  // service-flavored bad fixtures fire under service paths (no exemption
+  // applies there, unlike telemetry/metrics.cc) and the good ones stay quiet.
+  const struct {
+    std::string rule;
+    std::string stem;
+    std::string service_path;
+  } kCases[] = {
+      {"no-wall-clock", "service_wall_clock", "src/service/query_service.cc"},
+      {"no-unseeded-rng", "service_unseeded_rng", "src/service/workload_sim.cc"},
+  };
+  for (const auto& c : kCases) {
+    const std::string bad = ReadFixture(c.stem + "_bad.cc");
+    const std::string good = ReadFixture(c.stem + "_good.cc");
+    EXPECT_TRUE(RuleNames(LintContent(c.service_path, bad, {c.rule})).count(c.rule) > 0)
+        << c.rule << " did not fire on " << c.service_path;
+    EXPECT_TRUE(LintContent(c.service_path, good, {}).empty())
+        << c.rule << " false-positive on " << c.service_path;
+    // Unfiltered, the full rule catalog must also surface the violation.
+    EXPECT_TRUE(RuleNames(LintContent(c.service_path, bad, {})).count(c.rule) > 0);
+  }
+}
+
 TEST(CplintStrip, DropsCommentsAndLiteralContents) {
   const std::string content =
       "int a = 1;  // trailing time( comment\n"
@@ -151,7 +176,7 @@ TEST(CplintIo, UnreadableFileReportsIoError) {
 
 TEST(CplintCollect, FindsFixtureSourcesSorted) {
   const auto sources = CollectSources(CPLINT_FIXTURE_DIR);
-  EXPECT_GE(sources.size(), 18u);
+  EXPECT_GE(sources.size(), 22u);
   for (size_t i = 1; i < sources.size(); ++i) EXPECT_LE(sources[i - 1], sources[i]);
 }
 

@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -32,6 +33,7 @@
 #include "relation/instance.h"
 #include "report_compare.h"
 #include "resilience/fault_injector.h"
+#include "service/query_service.h"
 #include "telemetry/run_report.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -271,6 +273,81 @@ TEST_F(DeterminismTest, OneRoundIsBitIdenticalAcrossThreadCounts) {
     EXPECT_TRUE(RelationsEqual(serial.results, parallel.results));
     EXPECT_TRUE(TrackersEqual(serial.load_tracker, parallel.load_tracker));
   }
+}
+
+// The fast-experiment loops above already cover service_throughput, but
+// the service's whole point is simulated-clock determinism, so it gets an
+// explicit 1-vs-4-thread byte diff of the full report — cache hit/miss
+// counters, latency percentiles, per-scenario throughput and all.
+TEST_F(DeterminismTest, ServiceThroughputReportIsBitIdenticalAcrossThreadCounts) {
+  const bench::Experiment* experiment = bench::FindExperiment("service_throughput");
+  ASSERT_NE(experiment, nullptr);
+  ThreadPool::SetGlobalThreads(1);
+  telemetry::RunReport serial = bench::RunExperiment(*experiment);
+  ThreadPool::SetGlobalThreads(4);
+  telemetry::RunReport parallel = bench::RunExperiment(*experiment);
+  EXPECT_TRUE(serial.ok);
+  const std::string serial_json = MaskTimers(ReportJson(serial));
+  EXPECT_EQ(serial_json, MaskTimers(ReportJson(parallel)));
+  // The diff above is only meaningful if the cache telemetry is really in
+  // the compared bytes.
+  EXPECT_NE(serial_json.find("cache.open_c8_warm.hits"), std::string::npos);
+  EXPECT_NE(serial_json.find("service.open_c8_cold.throughput_qpk"), std::string::npos);
+}
+
+// Cold-vs-warm cache invariance, straight on the service (no bench layer):
+// the second identical run is served 100% from the cache, repeats every
+// per-entry load fingerprint, and both runs are reproducible from scratch
+// at a different thread count.
+TEST_F(DeterminismTest, ServiceColdAndWarmRunsAreThreadCountInvariant) {
+  const auto make_service = [] {
+    service::ServiceConfig config;
+    config.total_servers = 128;
+    config.servers_per_query = 32;
+    config.workload.clients = 4;
+    config.workload.queries_per_client = 5;
+    config.workload.seed = 0xD1CE;
+    auto svc = std::make_unique<service::QueryService>(config);
+    svc->RegisterQuery("path3", catalog::Path(3),
+                       workload::MatchingInstance(catalog::Path(3), 512));
+    svc->RegisterQuery("line3", catalog::Line3(),
+                       workload::MatchingInstance(catalog::Line3(), 512));
+    svc->RegisterQuery("triangle", catalog::Triangle(),
+                       workload::MatchingInstance(catalog::Triangle(), 512));
+    svc->RegisterQuery("star3", catalog::Star(3),
+                       workload::MatchingInstance(catalog::Star(3), 512));
+    return svc;
+  };
+
+  ThreadPool::SetGlobalThreads(1);
+  auto serial_svc = make_service();
+  const service::ServiceRunStats cold_serial = serial_svc->Run();
+  const service::ServiceRunStats warm_serial = serial_svc->Run();
+
+  ThreadPool::SetGlobalThreads(4);
+  auto parallel_svc = make_service();
+  const service::ServiceRunStats cold_parallel = parallel_svc->Run();
+  const service::ServiceRunStats warm_parallel = parallel_svc->Run();
+
+  // Byte-identical digests across thread counts, cold and warm alike —
+  // the digest includes every outcome, fingerprint, and cache counter.
+  EXPECT_EQ(cold_serial.Digest(), cold_parallel.Digest());
+  EXPECT_EQ(warm_serial.Digest(), warm_parallel.Digest());
+
+  // Warm means warm: 100% hits, nothing inserted, loads repeated exactly.
+  EXPECT_EQ(warm_serial.cache.hits, warm_serial.arrivals);
+  EXPECT_EQ(warm_serial.cache.misses, 0u);
+  EXPECT_EQ(warm_serial.cache.insertions, 0u);
+  EXPECT_GT(cold_serial.cache.misses, 0u);
+  ASSERT_EQ(warm_serial.entry_fingerprints.size(), cold_serial.entry_fingerprints.size());
+  for (size_t i = 0; i < warm_serial.entry_fingerprints.size(); ++i) {
+    if (cold_serial.entry_fingerprints[i].executed &&
+        warm_serial.entry_fingerprints[i].executed) {
+      EXPECT_EQ(warm_serial.entry_fingerprints[i], cold_serial.entry_fingerprints[i]);
+    }
+  }
+  EXPECT_EQ(warm_serial.load_mismatches, 0u);
+  EXPECT_EQ(cold_serial.load_mismatches, 0u);
 }
 
 }  // namespace
