@@ -42,6 +42,7 @@
 #include "experiments/experiments.h"
 #include "experiments/runners.h"
 #include "resilience/fault_injector.h"
+#include "service/query_service.h"
 #include "service/workload_sim.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/run_report.h"
@@ -61,6 +62,7 @@ struct DriverOptions {
   uint64_t seed = 0;  // 0 = historical per-experiment seeds
   resilience::FaultSpec faults;
   ServiceBenchOverrides service;
+  PlannerBenchOverrides planner;
 };
 
 int Usage(std::ostream& os, int code) {
@@ -70,7 +72,7 @@ int Usage(std::ostream& os, int code) {
         "                       [--straggler-rate=R] [--straggler-severity=X]\n"
         "                       [--fault-seed=U] [--max-attempts=N]\n"
         "                       [--clients=N] [--arrival=MODE] [--zipf-s=X]\n"
-        "                       [--no-cache]\n"
+        "                       [--no-cache] [--planner=MODE]\n"
         "  --list          list experiment ids and exit\n"
         "  --fast          run only the fast subset (the CI default)\n"
         "  --filter TERM   keep experiments whose id or display id matches\n"
@@ -94,7 +96,11 @@ int Usage(std::ostream& os, int code) {
         "  --clients=N --arrival=open|closed|bursty --zipf-s=X --no-cache\n"
         "                  reshape the service_throughput sweep: fix the\n"
         "                  client count, arrival discipline, or popularity\n"
-        "                  skew, or run only the cache-off variant\n";
+        "                  skew, or run only the cache-off variant\n"
+        "  --planner=MODE  auto|one_round|acyclic|output_balanced: force the\n"
+        "                  planner_ablation experiment's algorithm choice\n"
+        "                  (default auto = the cost-based chooser; forcing\n"
+        "                  turns the claims into a diagnostic sweep)\n";
   return code;
 }
 
@@ -128,6 +134,7 @@ int RunDriver(const DriverOptions& options) {
   unsigned threads = options.threads != 0 ? options.threads : ThreadPool::GlobalThreads();
   SetExperimentBaseSeed(options.seed);
   SetServiceBenchOverrides(options.service);
+  SetPlannerBenchOverrides(options.planner);
   // With any fault flag set, the whole selection runs under the injector —
   // including the serial reference runs, which still compare identical.
   std::unique_ptr<resilience::ScopedFaultInjection> injection;
@@ -287,6 +294,13 @@ int main(int argc, char** argv) {
       if (options.service.zipf_skew <= 0.0) return coverpack::bench::Usage(std::cerr, 2);
     } else if (arg == "--no-cache") {
       options.service.no_cache = true;
+    } else if (arg.rfind("--planner=", 0) == 0) {
+      options.planner.mode = arg.substr(10);
+      if (!coverpack::service::ParsePlannerMode(options.planner.mode).has_value()) {
+        std::cerr << "coverpack_bench: --planner must be auto, one_round, acyclic, "
+                     "or output_balanced\n";
+        return coverpack::bench::Usage(std::cerr, 2);
+      }
     } else if (arg == "--help" || arg == "-h") {
       return coverpack::bench::Usage(std::cout, 0);
     } else {

@@ -84,6 +84,11 @@ const std::vector<Experiment>& AllExperiments() {
        "raises p99; cached plans reproduce standalone pipeline loads "
        "byte-for-byte; isomorphic query shapes share one cache entry",
        /*fast=*/true, &RunServiceThroughput},
+      {"planner_ablation", "Plan chooser ablation", "PlannerAblation",
+       "the cost-based chooser lands within 10% of the best measured load on "
+       ">= 95% of a seeded differential corpus and never loses the "
+       "theoretical exponent (<= 4x best on every case)",
+       /*fast=*/true, &RunPlannerAblation},
   };
   return kExperiments;
 }

@@ -46,6 +46,7 @@ telemetry::RunReport RunEmReduction(const Experiment& e);
 telemetry::RunReport RunOutputSensitivity(const Experiment& e);
 telemetry::RunReport RunResilienceOverhead(const Experiment& e);
 telemetry::RunReport RunServiceThroughput(const Experiment& e);
+telemetry::RunReport RunPlannerAblation(const Experiment& e);
 
 /// Driver-flag overrides for the service_throughput experiment — the
 /// --clients / --arrival / --zipf-s / --no-cache flags of coverpack_bench.
@@ -57,6 +58,15 @@ struct ServiceBenchOverrides {
   bool no_cache = false;   ///< true = run only the cache-off variant
 };
 void SetServiceBenchOverrides(const ServiceBenchOverrides& overrides);
+
+/// Driver-flag override for the planner_ablation experiment — the
+/// --planner flag of coverpack_bench. "" or "auto" = the cost-based
+/// chooser; a forced algorithm name makes the experiment a diagnostic
+/// sweep (claims auto-pass; the table shows what forcing costs).
+struct PlannerBenchOverrides {
+  std::string mode;  ///< "", "auto", "one_round", "acyclic", "output_balanced"
+};
+void SetPlannerBenchOverrides(const PlannerBenchOverrides& overrides);
 
 }  // namespace bench
 }  // namespace coverpack

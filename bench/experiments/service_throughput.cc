@@ -33,7 +33,9 @@
 #include "bench_util.h"
 #include "core/acyclic_join.h"
 #include "core/one_round.h"
+#include "core/output_balanced.h"
 #include "experiments/runners.h"
+#include "planner/plan_chooser.h"
 #include "query/catalog.h"
 #include "query/join_tree.h"
 #include "service/query_service.h"
@@ -72,14 +74,19 @@ void RegisterCatalog(service::QueryService* svc) {
 }
 
 /// The fingerprint a standalone, auto-planned pipeline run produces for
-/// one catalog entry — built from the raw core API (load_threshold = 0,
-/// i.e. planned from scratch), not from the service's cold path, so
-/// claim 4 really compares two independent code paths.
+/// one catalog entry — the algorithm comes from a fresh PlanChooser
+/// decision over freshly built statistics (the same decision the service's
+/// cold path must reach), but the execution goes through the raw core API
+/// (load_threshold auto-planned from scratch), not through the service's
+/// ExecuteRegistered, so claim 4 really compares two independent paths.
 service::LoadFingerprint StandaloneFingerprint(const service::RegisteredQuery& entry,
                                                uint32_t p) {
   service::LoadFingerprint fp;
   fp.executed = true;
-  if (JoinTree::Build(entry.query).has_value()) {
+  const planner::StatsSnapshot stats =
+      planner::BuildStatsSnapshot(entry.query, entry.instance);
+  const planner::PlanDecision decision = planner::PlanChooser::Choose(entry.query, p, stats);
+  if (decision.algorithm == planner::Algorithm::kAcyclicMultiRound) {
     AcyclicRunOptions options;
     options.policy = RunPolicy::kOptimal;
     options.collect = false;
@@ -90,6 +97,18 @@ service::LoadFingerprint StandaloneFingerprint(const service::RegisteredQuery& e
     fp.total_communication = run.total_communication;
     fp.servers_used = run.servers_used;
     fp.load_threshold = run.load_threshold;
+    fp.output_count = run.output_count;
+    fp.tracker_hash = service::FingerprintTrackerHash(run.load_tracker);
+  } else if (decision.algorithm == planner::Algorithm::kOutputBalanced) {
+    OutputBalancedOptions options;
+    options.collect = false;
+    const OutputBalancedResult run =
+        ComputeOutputBalanced(entry.query, entry.instance, p, options);
+    fp.max_load = run.max_load;
+    fp.rounds = run.rounds;
+    fp.total_communication = run.total_communication;
+    fp.servers_used = run.load_tracker.num_servers();
+    fp.load_threshold = 0;
     fp.output_count = run.output_count;
     fp.tracker_hash = service::FingerprintTrackerHash(run.load_tracker);
   } else {

@@ -1,0 +1,76 @@
+#include "planner/plan_chooser.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace coverpack {
+namespace planner {
+
+std::string PlanDecision::Digest() const {
+  std::ostringstream out;
+  out << "algo=" << AlgorithmName(algorithm) << ";load=" << est_load
+      << ";rounds=" << est_rounds << ";ticks=" << est_cost_ticks
+      << ";out=" << out_estimate << ";order=" << join_order << ";rho=" << lp.rho_star.num()
+      << "/" << lp.rho_star.den() << ";psi=" << lp.psi_star.num() << "/"
+      << lp.psi_star.den() << ";L=" << table.thm5_threshold;
+  for (const CostEstimate& est : table.entries) {
+    out << ";" << AlgorithmName(est.algorithm) << "=" << (est.applicable ? 1 : 0)
+        << "/" << (est.exponent_safe ? 1 : 0) << "/" << est.est_load << "/"
+        << est.est_rounds;
+  }
+  return out.str();
+}
+
+void DecisionLedger::CountDecision(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kOneRound: ++decisions_one_round; break;
+    case Algorithm::kAcyclicMultiRound: ++decisions_acyclic; break;
+    case Algorithm::kOutputBalanced: ++decisions_output_balanced; break;
+  }
+}
+
+uint64_t DecisionLedger::TotalDecisions() const {
+  return decisions_one_round + decisions_acyclic + decisions_output_balanced;
+}
+
+PlanDecision PlanChooser::Choose(const Hypergraph& query, uint32_t p,
+                                 const StatsSnapshot& stats) {
+  return Choose(query, p, stats, ComputeLpNumbers(query));
+}
+
+PlanDecision PlanChooser::Choose(const Hypergraph& query, uint32_t p,
+                                 const StatsSnapshot& stats, const LpNumbers& lp) {
+  PlanDecision decision;
+  decision.lp = lp;
+  decision.table = EstimateCosts(query, p, stats, lp);
+  decision.out_estimate = decision.table.join_order.out_estimate;
+  decision.join_order = decision.table.join_order.order;
+
+  const CostEstimate* best = nullptr;
+  for (const CostEstimate& est : decision.table.entries) {
+    if (!est.applicable || !est.exponent_safe) continue;
+    // Total order: load, then simulated ticks, then the fixed menu order
+    // (the enum values), so ties are broken identically everywhere.
+    if (best == nullptr || est.est_load < best->est_load ||
+        (est.est_load == best->est_load && est.est_cost_ticks < best->est_cost_ticks)) {
+      best = &est;
+    }
+  }
+  // One-round is always applicable and is exponent-safe whenever nothing
+  // else is (cyclic queries), so a winner always exists.
+  CP_CHECK(best != nullptr) << "no applicable exponent-safe candidate";
+
+  decision.algorithm = best->algorithm;
+  decision.est_load = best->est_load;
+  decision.est_rounds = best->est_rounds;
+  decision.est_cost_ticks = best->est_cost_ticks;
+  std::ostringstream why;
+  why << AlgorithmName(best->algorithm) << " wins at load~" << best->est_load << " ("
+      << best->detail << ")";
+  decision.rationale = why.str();
+  return decision;
+}
+
+}  // namespace planner
+}  // namespace coverpack

@@ -1,0 +1,207 @@
+#include "planner/stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace coverpack {
+namespace planner {
+
+namespace {
+
+/// Smallest log2 domain (>= kMinLog2Domain) containing `value`.
+uint32_t Log2DomainFor(Value value) {
+  uint32_t log2_domain = kMinLog2Domain;
+  while (log2_domain < 64 && (value >> log2_domain) != 0) ++log2_domain;
+  return log2_domain;
+}
+
+constexpr uint32_t kLog2Buckets = 4;
+static_assert(kHistogramBuckets == (1u << kLog2Buckets));
+static_assert(kMinLog2Domain >= kLog2Buckets);
+
+}  // namespace
+
+void ColumnHistogram::WidenTo(uint32_t target_log2_domain) {
+  CP_CHECK_LE(target_log2_domain, 64u);
+  while (log2_domain < target_log2_domain) {
+    // One doubling: narrow buckets 2i and 2i+1 tile exactly wide bucket i
+    // (both domains are powers of two with the same bucket count), so the
+    // fold is exact — no row is attributed to a different value range.
+    std::array<uint64_t, kHistogramBuckets> folded{};
+    for (uint32_t i = 0; i < kHistogramBuckets / 2; ++i) {
+      folded[i] = buckets[2 * i] + buckets[2 * i + 1];
+    }
+    buckets = folded;
+    ++log2_domain;
+  }
+}
+
+void ColumnHistogram::Add(Value value) {
+  WidenTo(Log2DomainFor(value));
+  buckets[value >> (log2_domain - kLog2Buckets)] += 1;
+  rows += 1;
+  max_value = std::max(max_value, value);
+}
+
+uint64_t ColumnHistogram::Digest() const {
+  uint64_t h = HashCombine(log2_domain, rows);
+  h = HashCombine(h, max_value);
+  for (uint64_t bucket : buckets) h = HashCombine(h, bucket);
+  return h;
+}
+
+ColumnHistogram MergeHistograms(const ColumnHistogram& a, const ColumnHistogram& b) {
+  ColumnHistogram merged = a;
+  ColumnHistogram widened = b;
+  const uint32_t target = std::max(a.log2_domain, b.log2_domain);
+  merged.WidenTo(target);
+  widened.WidenTo(target);
+  for (uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    merged.buckets[i] += widened.buckets[i];
+  }
+  merged.rows += widened.rows;
+  if (a.rows == 0) {
+    merged.max_value = widened.max_value;
+  } else if (widened.rows > 0) {
+    merged.max_value = std::max(a.max_value, widened.max_value);
+  }
+  return merged;
+}
+
+DegreeMap MergeDegreeMaps(const DegreeMap& a, const DegreeMap& b) {
+  DegreeMap merged = a;
+  for (const auto& [value, count] : b) merged[value] += count;
+  return merged;
+}
+
+uint64_t ColumnStats::Digest() const {
+  uint64_t h = HashCombine(rows, distinct);
+  h = HashCombine(h, max_degree);
+  return HashCombine(h, histogram.Digest());
+}
+
+const ColumnStats& RelationStats::ColumnFor(AttrId attr) const {
+  for (const ColumnStats& column : columns) {
+    if (column.attr == attr) return column;
+  }
+  CP_CHECK(false) << "no stats for attribute " << attr;
+  return columns.front();  // unreachable
+}
+
+uint64_t RelationStats::Digest() const {
+  std::vector<uint64_t> digests;
+  digests.reserve(columns.size());
+  for (const ColumnStats& column : columns) digests.push_back(column.Digest());
+  // Sorted: the digest must not depend on attribute order, so isomorphic
+  // relations under attribute renaming agree.
+  std::sort(digests.begin(), digests.end());
+  return HashCombine(rows, HashVector(digests));
+}
+
+std::vector<uint64_t> StatsSnapshot::RelationSizes() const {
+  std::vector<uint64_t> sizes;
+  sizes.reserve(relations.size());
+  for (const RelationStats& relation : relations) sizes.push_back(relation.rows);
+  return sizes;
+}
+
+std::string StatsSnapshot::ToString(const Hypergraph& query) const {
+  std::ostringstream out;
+  for (size_t e = 0; e < relations.size(); ++e) {
+    const RelationStats& relation = relations[e];
+    out << query.edge(static_cast<EdgeId>(e)).name << "[rows=" << relation.rows << "]";
+    for (const ColumnStats& column : relation.columns) {
+      out << " " << query.attr_name(column.attr) << "(d=" << column.distinct
+          << ",max=" << column.max_degree << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+RelationStats BuildRelationStats(const Relation& relation) {
+  RelationStats stats;
+  stats.rows = relation.size();
+  const std::vector<AttrId> attrs = relation.attrs().ToVector();
+  stats.columns.resize(attrs.size());
+
+  constexpr size_t kGrain = 1024;
+  const size_t shards = ThreadPool::NumShards(0, relation.size(), kGrain);
+  // Per-shard accumulation, merged in ascending shard order: decomposition
+  // depends only on (rows, grain), so the result is thread-count-invariant.
+  std::vector<std::vector<DegreeMap>> shard_degrees(shards);
+  std::vector<std::vector<ColumnHistogram>> shard_histograms(shards);
+  ThreadPool::Global().ParallelForShards(
+      0, relation.size(), kGrain,
+      [&](size_t begin, size_t end, size_t shard) {
+        std::vector<DegreeMap> degrees(attrs.size());
+        std::vector<ColumnHistogram> histograms(attrs.size());
+        for (size_t i = begin; i < end; ++i) {
+          const std::span<const Value> row = relation.row(i);
+          for (size_t c = 0; c < attrs.size(); ++c) {
+            degrees[c][row[c]] += 1;
+            histograms[c].Add(row[c]);
+          }
+        }
+        shard_degrees[shard] = std::move(degrees);
+        shard_histograms[shard] = std::move(histograms);
+      });
+
+  for (size_t c = 0; c < attrs.size(); ++c) {
+    DegreeMap degrees;
+    ColumnHistogram histogram;
+    for (size_t shard = 0; shard < shards; ++shard) {
+      degrees = MergeDegreeMaps(degrees, shard_degrees[shard][c]);
+      histogram = MergeHistograms(histogram, shard_histograms[shard][c]);
+    }
+    ColumnStats& column = stats.columns[c];
+    column.attr = attrs[c];
+    column.rows = relation.size();
+    column.distinct = degrees.size();
+    for (const auto& [value, count] : degrees) {
+      column.max_degree = std::max(column.max_degree, count);
+    }
+    column.histogram = histogram;
+  }
+  return stats;
+}
+
+StatsSnapshot BuildStatsSnapshot(const Hypergraph& query, const Instance& instance) {
+  CP_CHECK_EQ(instance.num_relations(), query.num_edges());
+  StatsSnapshot snapshot;
+  snapshot.relations.reserve(instance.num_relations());
+  for (EdgeId e = 0; e < query.num_edges(); ++e) {
+    snapshot.relations.push_back(BuildRelationStats(instance[e]));
+    snapshot.max_relation_rows =
+        std::max(snapshot.max_relation_rows, snapshot.relations.back().rows);
+    snapshot.total_rows += snapshot.relations.back().rows;
+  }
+  return snapshot;
+}
+
+uint64_t SnapshotSignature(const std::vector<uint64_t>& edge_colors,
+                           const StatsSnapshot& snapshot, uint64_t base_signature) {
+  CP_CHECK_EQ(edge_colors.size(), snapshot.relations.size());
+  // (canonical edge color, relation content digest) pairs, sorted: two
+  // isomorphic instances place equal digests on equal color classes no
+  // matter how their edges were ordered or named.
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  pairs.reserve(edge_colors.size());
+  for (size_t e = 0; e < edge_colors.size(); ++e) {
+    pairs.emplace_back(edge_colors[e], snapshot.relations[e].Digest());
+  }
+  std::sort(pairs.begin(), pairs.end());
+  uint64_t h = base_signature;
+  for (const auto& [color, digest] : pairs) {
+    h = HashCombine(HashCombine(h, color), digest);
+  }
+  return h;
+}
+
+}  // namespace planner
+}  // namespace coverpack

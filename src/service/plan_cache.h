@@ -37,7 +37,8 @@ namespace service {
 /// How the service executes an admitted query.
 enum class ExecStrategy : uint8_t {
   kAcyclicMultiRound,  ///< Theorem 5: ComputeAcyclicJoin, optimal policy
-  kOneRound,           ///< cyclic fallback: skew-aware one-round hypercube
+  kOneRound,           ///< skew-aware one-round hypercube (any query)
+  kOutputBalanced,     ///< output-balanced Yannakakis (connected acyclic)
 };
 
 /// Cache key: shape x sub-cluster size x relation-size profile.
@@ -70,6 +71,11 @@ struct CachedPlan {
   uint64_t load_threshold = 0;       ///< Theorem 4's L for this stats profile
   uint64_t theoretical_servers = 0;  ///< server demand at L (plan skeleton)
   uint64_t plan_cost_ticks = 0;      ///< simulated cost a cold plan pays
+  // Chooser artifacts (src/planner): cached so telemetry can report
+  // estimated-vs-actual error without re-planning on cache hits.
+  uint64_t planner_est_load = 0;     ///< chooser's estimated bottleneck load
+  uint64_t planner_out_estimate = 0; ///< join-order DP's OUT estimate
+  std::string join_order;            ///< DP's intra-server join order
 };
 
 /// Monotone counters describing the cache's history.

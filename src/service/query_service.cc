@@ -9,7 +9,9 @@
 #include "core/acyclic_join.h"
 #include "core/load_planner.h"
 #include "core/one_round.h"
+#include "core/output_balanced.h"
 #include "lp/covers.h"
+#include "planner/stats.h"
 #include "query/decomposition.h"
 #include "query/join_tree.h"
 #include "util/hash.h"
@@ -47,15 +49,50 @@ uint64_t Percentile(const std::vector<uint64_t>& sorted, uint32_t pct) {
   return sorted[index];
 }
 
+ExecStrategy StrategyFor(planner::Algorithm algorithm) {
+  switch (algorithm) {
+    case planner::Algorithm::kOneRound: return ExecStrategy::kOneRound;
+    case planner::Algorithm::kAcyclicMultiRound: return ExecStrategy::kAcyclicMultiRound;
+    case planner::Algorithm::kOutputBalanced: return ExecStrategy::kOutputBalanced;
+  }
+  return ExecStrategy::kOneRound;
+}
+
+planner::Algorithm AlgorithmFor(ExecStrategy strategy) {
+  switch (strategy) {
+    case ExecStrategy::kOneRound: return planner::Algorithm::kOneRound;
+    case ExecStrategy::kAcyclicMultiRound: return planner::Algorithm::kAcyclicMultiRound;
+    case ExecStrategy::kOutputBalanced: return planner::Algorithm::kOutputBalanced;
+  }
+  return planner::Algorithm::kOneRound;
+}
+
 }  // namespace
 
+const char* PlannerModeName(PlannerMode mode) {
+  switch (mode) {
+    case PlannerMode::kAuto: return "auto";
+    case PlannerMode::kForceOneRound: return "one_round";
+    case PlannerMode::kForceAcyclic: return "acyclic";
+    case PlannerMode::kForceOutputBalanced: return "output_balanced";
+  }
+  return "auto";
+}
+
+std::optional<PlannerMode> ParsePlannerMode(const std::string& text) {
+  if (text == "auto") return PlannerMode::kAuto;
+  if (text == "one_round") return PlannerMode::kForceOneRound;
+  if (text == "acyclic") return PlannerMode::kForceAcyclic;
+  if (text == "output_balanced") return PlannerMode::kForceOutputBalanced;
+  return std::nullopt;
+}
+
 CachedPlan ComputePlan(const Hypergraph& query, const Instance& instance, uint32_t p,
-                       const ShapeCanon& canon) {
+                       const ShapeCanon& canon, PlannerMode mode) {
   CachedPlan plan;
   plan.canonical_form = canon.canonical_form;
   const auto tree = JoinTree::Build(query);
   plan.acyclic = tree.has_value();
-  plan.strategy = plan.acyclic ? ExecStrategy::kAcyclicMultiRound : ExecStrategy::kOneRound;
   plan.rho_star = RhoStar(query);
   plan.tau_star = TauStar(query);
   plan.psi_star = EdgeQuasiPackingNumber(query);
@@ -65,6 +102,33 @@ CachedPlan ComputePlan(const Hypergraph& query, const Instance& instance, uint32
     plan.load_threshold = PlanLoadOptimal(query, instance, p);
     plan.theoretical_servers =
         TheoreticalServerDemand(query, instance, plan.load_threshold, RunPolicy::kOptimal);
+  }
+  // Strategy selection: the cost-based chooser ranks the menu from the
+  // per-attribute statistics; a forced mode overrides it whenever that
+  // algorithm is structurally applicable.
+  planner::LpNumbers lp;
+  lp.rho_star = plan.rho_star;
+  lp.tau_star = plan.tau_star;
+  lp.psi_star = plan.psi_star;
+  lp.acyclic = plan.acyclic;
+  lp.join_tree_roots = plan.join_tree_roots;
+  const planner::StatsSnapshot stats = planner::BuildStatsSnapshot(query, instance);
+  const planner::PlanDecision decision = planner::PlanChooser::Choose(query, p, stats, lp);
+  plan.strategy = StrategyFor(decision.algorithm);
+  plan.planner_est_load = decision.est_load;
+  plan.planner_out_estimate = decision.out_estimate;
+  plan.join_order = decision.join_order;
+  if (mode != PlannerMode::kAuto) {
+    planner::Algorithm forced = planner::Algorithm::kOneRound;
+    if (mode == PlannerMode::kForceAcyclic) forced = planner::Algorithm::kAcyclicMultiRound;
+    if (mode == PlannerMode::kForceOutputBalanced) {
+      forced = planner::Algorithm::kOutputBalanced;
+    }
+    const planner::CostEstimate& entry = decision.table.ForAlgorithm(forced);
+    if (entry.applicable) {
+      plan.strategy = StrategyFor(forced);
+      plan.planner_est_load = entry.est_load;
+    }
   }
   // Cold planning cost: dominated by the psi* subset sweep (2^attrs LP
   // solves) plus per-edge tree/decomposition work. A deterministic
@@ -97,6 +161,18 @@ ExecutionResult ExecuteRegistered(const Hypergraph& query, const Instance& insta
     result.fingerprint.output_count = run.output_count;
     result.fingerprint.tracker_hash = FingerprintTrackerHash(run.load_tracker);
     result.exec_ticks = ExecutionTicks(run.load_tracker);
+  } else if (plan.strategy == ExecStrategy::kOutputBalanced) {
+    OutputBalancedOptions options;
+    options.collect = collect;
+    const OutputBalancedResult run = ComputeOutputBalanced(query, instance, p, options);
+    result.fingerprint.max_load = run.max_load;
+    result.fingerprint.rounds = run.rounds;
+    result.fingerprint.total_communication = run.total_communication;
+    result.fingerprint.servers_used = run.load_tracker.num_servers();
+    result.fingerprint.load_threshold = 0;
+    result.fingerprint.output_count = run.output_count;
+    result.fingerprint.tracker_hash = FingerprintTrackerHash(run.load_tracker);
+    result.exec_ticks = ExecutionTicks(run.load_tracker);
   } else {
     OneRoundOptions options;
     options.collect = collect;
@@ -123,12 +199,15 @@ std::string ServiceRunStats::Digest() const {
       << ";peak=" << peak_servers_leased << ";bypass=" << plan_bypasses
       << ";mismatch=" << load_mismatches << ";cache=" << cache.hits << "/"
       << cache.misses << "/" << cache.insertions << "/" << cache.evictions << "/"
-      << cache.collisions << "/" << cache.size << "\n";
+      << cache.collisions << "/" << cache.size << ";planner=" << planner.decisions_one_round
+      << "/" << planner.decisions_acyclic << "/" << planner.decisions_output_balanced << "/"
+      << planner.cache_hits << "/" << planner.cache_misses << "\n";
   for (const QueryOutcome& o : outcomes) {
     out << "q" << o.query_id << ":c" << o.client << ":e" << o.catalog_index << ":a"
         << o.arrival_ticks << ":s" << o.start_ticks << ":f" << o.completion_ticks << ":h"
         << (o.cache_hit ? 1 : 0) << ":p" << o.plan_ticks << ":x" << o.exec_ticks << ":l"
-        << o.max_load << ":r" << o.rounds << "\n";
+        << o.max_load << ":r" << o.rounds << ":y"
+        << static_cast<uint32_t>(o.strategy) << ":v" << o.planner_est_load << "\n";
   }
   for (size_t i = 0; i < entry_fingerprints.size(); ++i) {
     const LoadFingerprint& f = entry_fingerprints[i];
@@ -152,7 +231,9 @@ RegisteredQuery::RegisteredQuery(std::string name_in, Hypergraph query_in,
       instance(std::move(instance_in)) {
   instance.CheckAgainst(query);
   canon = CanonicalizeShape(query);
-  stats_signature = StatsSignature(canon, instance);
+  stats = planner::BuildStatsSnapshot(query, instance);
+  stats_signature =
+      planner::SnapshotSignature(canon.edge_colors, stats, StatsSignature(canon, instance));
   cacheable = SizesUniformPerColorClass(canon, instance);
 }
 
@@ -266,8 +347,10 @@ ServiceRunStats QueryService::Run() {
       if (!config_.cache_enabled || !entry.cacheable) {
         if (!entry.cacheable) ++stats.plan_bypasses;
         dispatched.plan = ComputePlan(entry.query, entry.instance,
-                                      config_.servers_per_query, entry.canon);
+                                      config_.servers_per_query, entry.canon,
+                                      config_.planner_mode);
         dispatched.plan_ticks = dispatched.plan.plan_cost_ticks;
+        ++stats.planner.cache_misses;
       } else {
         const PlanCacheKey key{entry.canon.hash, config_.servers_per_query,
                                entry.stats_signature};
@@ -276,11 +359,14 @@ ServiceRunStats QueryService::Run() {
           dispatched.plan = std::move(*cached);
           dispatched.cache_hit = true;
           dispatched.plan_ticks = kPlanHitTicks;
+          ++stats.planner.cache_hits;
         } else {
           dispatched.plan = ComputePlan(entry.query, entry.instance,
-                                        config_.servers_per_query, entry.canon);
+                                        config_.servers_per_query, entry.canon,
+                                        config_.planner_mode);
           dispatched.plan_ticks = dispatched.plan.plan_cost_ticks;
           cache_.Insert(key, dispatched.plan);
+          ++stats.planner.cache_misses;
         }
       }
       batch.push_back(std::move(dispatched));
@@ -324,6 +410,14 @@ ServiceRunStats QueryService::Run() {
       run.outcome.exec_ticks = results[i].exec_ticks;
       run.outcome.max_load = results[i].fingerprint.max_load;
       run.outcome.rounds = results[i].fingerprint.rounds;
+      run.outcome.strategy = dispatched.plan.strategy;
+      run.outcome.planner_est_load = dispatched.plan.planner_est_load;
+      stats.planner.CountDecision(AlgorithmFor(dispatched.plan.strategy));
+      if (results[i].fingerprint.max_load > 0) {
+        stats.planner.est_error_ratios.push_back(
+            static_cast<double>(dispatched.plan.planner_est_load) /
+            static_cast<double>(results[i].fingerprint.max_load));
+      }
       events.Push({run.outcome.completion_ticks, 0, SimEventKind::kCompletion,
                    dispatched.client, dispatched.catalog_index, dispatched.query_id});
       running.emplace(dispatched.query_id, std::move(run));

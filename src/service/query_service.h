@@ -32,10 +32,12 @@
 #define COVERPACK_SERVICE_QUERY_SERVICE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "mpc/load_tracker.h"
+#include "planner/plan_chooser.h"
 #include "query/hypergraph.h"
 #include "relation/instance.h"
 #include "service/plan_cache.h"
@@ -58,6 +60,24 @@ inline constexpr uint64_t kTreeTicks = 12;
 inline constexpr uint64_t kRoundLatencyTicks = 32;
 inline constexpr uint64_t kTuplesPerTick = 64;
 
+/// Which algorithm the planner is allowed to pick. kAuto defers to the
+/// cost-based PlanChooser (src/planner); a forced mode overrides the
+/// chooser whenever that algorithm is applicable to the query, falling
+/// back to the chooser's pick when it is not (e.g. output-balanced forced
+/// on a cyclic query).
+enum class PlannerMode : uint8_t {
+  kAuto = 0,
+  kForceOneRound,
+  kForceAcyclic,
+  kForceOutputBalanced,
+};
+
+/// Stable name for reports / flags ("auto", "one_round", ...).
+const char* PlannerModeName(PlannerMode mode);
+
+/// Parses a --planner flag value; nullopt on unknown strings.
+std::optional<PlannerMode> ParsePlannerMode(const std::string& text);
+
 /// Service-wide configuration.
 struct ServiceConfig {
   uint32_t total_servers = 256;     ///< the simulated p-server pool
@@ -65,6 +85,7 @@ struct ServiceConfig {
   bool cache_enabled = true;
   size_t cache_capacity = 64;
   bool collect_results = false;  ///< pipelines run charge-only by default
+  PlannerMode planner_mode = PlannerMode::kAuto;
   WorkloadConfig workload;
 };
 
@@ -77,6 +98,10 @@ struct RegisteredQuery {
   Hypergraph query;
   Instance instance;
   ShapeCanon canon;
+  planner::StatsSnapshot stats;  ///< per-attribute histograms + degrees
+  /// Extended signature: the positional-size base signature folded with the
+  /// planner's rename-invariant per-column stats digests, so chooser
+  /// decisions are keyed by the stats they actually depend on.
   uint64_t stats_signature = 0;
   /// False when relation sizes differ inside a symmetric edge-color class;
   /// such entries bypass the cache (see query_shape.h).
@@ -111,6 +136,8 @@ struct QueryOutcome {
   uint64_t exec_ticks = 0;
   uint64_t max_load = 0;
   uint32_t rounds = 0;
+  ExecStrategy strategy = ExecStrategy::kOneRound;  ///< what actually ran
+  uint64_t planner_est_load = 0;  ///< chooser's estimate for this plan
 };
 
 /// Everything one Run() measured. All tick-denominated — no wall clock.
@@ -129,6 +156,7 @@ struct ServiceRunStats {
   uint64_t plan_bypasses = 0;   ///< uncacheable entries planned fresh
   uint64_t load_mismatches = 0; ///< re-executions whose loads diverged (must be 0)
   PlanCacheStats cache;         ///< per-run delta of the cache counters
+  planner::DecisionLedger planner;  ///< chooser decision tallies + est error
   std::vector<QueryOutcome> outcomes;              ///< completion order
   std::vector<LoadFingerprint> entry_fingerprints; ///< per catalog index
   std::vector<uint64_t> latencies_sorted;
@@ -177,10 +205,14 @@ class QueryService {
 uint64_t FingerprintTrackerHash(const LoadTracker& tracker);
 
 /// Computes a fresh plan for (query, instance, p) — the cold path the
-/// cache short-circuits. Exposed for tests and for the bench experiment's
-/// standalone-equivalence checks.
+/// cache short-circuits. Builds the planner's StatsSnapshot, runs the
+/// cost-based PlanChooser (or honors a forced mode when that algorithm is
+/// applicable), and bundles the LP numbers + strategy + load threshold
+/// into the cacheable artifact. Exposed for tests and for the bench
+/// experiment's standalone-equivalence checks.
 CachedPlan ComputePlan(const Hypergraph& query, const Instance& instance, uint32_t p,
-                       const ShapeCanon& canon);
+                       const ShapeCanon& canon,
+                       PlannerMode mode = PlannerMode::kAuto);
 
 /// Runs the pipeline an admitted query executes (strategy from `plan`) and
 /// returns its load fingerprint plus simulated execution ticks. Exposed so

@@ -319,5 +319,66 @@ TEST_F(ChaosTest, QueryServiceSurvivesCrashStormBitIdentically) {
   EXPECT_EQ(faulted.Digest(), faulted_serial.Digest());
 }
 
+// The plan chooser must be blind to the fault layer: a crash-storm run
+// makes the *same* plan decision for every admitted query as the clean
+// run — same strategy, same estimated load, same chooser tallies — and
+// the full run digest (which embeds both per-outcome strategy and the
+// planner ledger) stays byte-identical.
+TEST_F(ChaosTest, CrashStormLeavesPlanDecisionsIdentical) {
+  const auto run_service = [] {
+    service::ServiceConfig config;
+    config.total_servers = 128;
+    config.servers_per_query = 32;
+    config.workload.clients = 3;
+    config.workload.queries_per_client = 6;
+    config.workload.seed = 0x9A5;
+    service::QueryService svc(config);
+    // A menu that exercises every strategy: connected acyclic matching
+    // (output-balanced territory), a skewed star (multi-round territory),
+    // and a cyclic triangle (one-round only).
+    svc.RegisterQuery("path3", catalog::Path(3),
+                      workload::MatchingInstance(catalog::Path(3), 512));
+    Rng rng(0x57AB);
+    svc.RegisterQuery("star3", catalog::Star(3),
+                      workload::ZipfInstance(catalog::Star(3), 512, 512, 1.1, &rng));
+    svc.RegisterQuery("triangle", catalog::Triangle(),
+                      workload::MatchingInstance(catalog::Triangle(), 512));
+    return svc.Run();
+  };
+
+  ThreadPool::SetGlobalThreads(4);
+  const service::ServiceRunStats clean = run_service();
+
+  FaultSpec spec;
+  spec.seed = 0x570A4;
+  spec.crash_rate = 0.2;
+  spec.drop_rate = 0.01;
+  spec.duplicate_rate = 0.01;
+  service::ServiceRunStats stormed;
+  {
+    ScopedFaultInjection injection(spec);
+    stormed = run_service();
+  }
+  const ResilienceTelemetrySnapshot ledger = ResilienceTelemetry::Snapshot();
+  EXPECT_GT(ledger.crashes, 0u);  // the storm must actually hit the pipelines
+
+  // Decision-level comparison first, so a failure names the query whose
+  // plan flipped rather than pointing at an opaque digest diff.
+  ASSERT_EQ(clean.outcomes.size(), stormed.outcomes.size());
+  for (size_t i = 0; i < clean.outcomes.size(); ++i) {
+    EXPECT_EQ(clean.outcomes[i].strategy, stormed.outcomes[i].strategy) << i;
+    EXPECT_EQ(clean.outcomes[i].planner_est_load, stormed.outcomes[i].planner_est_load)
+        << i;
+  }
+  EXPECT_EQ(clean.planner.decisions_one_round, stormed.planner.decisions_one_round);
+  EXPECT_EQ(clean.planner.decisions_acyclic, stormed.planner.decisions_acyclic);
+  EXPECT_EQ(clean.planner.decisions_output_balanced,
+            stormed.planner.decisions_output_balanced);
+  EXPECT_EQ(clean.planner.cache_hits, stormed.planner.cache_hits);
+  EXPECT_EQ(clean.planner.cache_misses, stormed.planner.cache_misses);
+  EXPECT_GT(clean.planner.TotalDecisions(), 0u);
+  EXPECT_EQ(clean.Digest(), stormed.Digest());
+}
+
 }  // namespace
 }  // namespace coverpack

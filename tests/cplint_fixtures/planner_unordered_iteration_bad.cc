@@ -1,0 +1,15 @@
+// cplint fixture: a join-order DP whose memo table is an unordered map
+// iterated to pick the final plan. In src/planner/ tie-breaks would then
+// depend on hash-table layout, so equal-cost orders could differ between
+// runs and the chooser's decision digest would not be stable.
+#include <string>
+#include <unordered_map>
+
+std::string BestOrder() {
+  std::unordered_map<unsigned long, std::string> memo;
+  std::string best;
+  for (const auto& [subset, order] : memo) {
+    if (best.empty() || order < best) best = order;
+  }
+  return best;
+}

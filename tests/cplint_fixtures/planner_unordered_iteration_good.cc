@@ -1,0 +1,14 @@
+// cplint fixture: the sanctioned shape of planner memo tables — std::map
+// keyed by subset bits, so the DP visits candidates in one deterministic
+// order and equal-cost tie-breaks are stable by construction.
+#include <map>
+#include <string>
+
+std::string BestOrder() {
+  std::map<unsigned long, std::string> memo;
+  std::string best;
+  for (const auto& [subset, order] : memo) {
+    if (best.empty() || order < best) best = order;
+  }
+  return best;
+}

@@ -1,0 +1,13 @@
+// cplint fixture: histogram sampling driven by ambient randomness. In
+// src/planner/ this would make two stats builds of the same relation
+// disagree, so the same query could plan differently on every run and the
+// differential corpus would not be replayable from its seed.
+#include <random>
+
+unsigned SampleRowForHistogram(unsigned num_rows) {
+  std::random_device entropy;
+  std::mt19937_64 gen;
+  return static_cast<unsigned>((gen() ^ entropy()) % num_rows);
+}
+
+int LegacyBucketJitter() { return rand(); }

@@ -1,0 +1,15 @@
+// cplint fixture: deterministic sampling from an explicit split seed —
+// the only sanctioned randomness in src/planner/: every stream derives
+// from the corpus seed, so a failing case replays from its name alone.
+#include <cstdint>
+
+uint64_t SplitMix(uint64_t seed) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t SampleRowForHistogram(uint64_t seed, uint64_t num_rows) {
+  return SplitMix(seed) % num_rows;
+}

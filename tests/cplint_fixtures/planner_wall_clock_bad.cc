@@ -1,0 +1,19 @@
+// cplint fixture: a cost model that stamps plans with the host's wall
+// clock. In src/planner/ this would leak host time into estimated ticks
+// (and therefore plan decisions), so the chooser's decision digest could
+// never be byte-diffed across thread counts or fault schedules.
+#include <chrono>
+#include <ctime>
+
+struct CostProbe {
+  long planned_at = 0;
+  long epoch_seconds = 0;
+};
+
+CostProbe StampPlan() {
+  CostProbe probe;
+  probe.planned_at =
+      std::chrono::system_clock::now().time_since_epoch().count();
+  probe.epoch_seconds = time(nullptr);
+  return probe;
+}

@@ -1,0 +1,12 @@
+// cplint fixture: the planner's simulated cost clock. Estimated ticks are
+// derived from tuple counts and round latencies on a uint64 tick axis —
+// pure functions of the statistics, never of host time.
+#include <cstdint>
+
+constexpr uint64_t kRoundLatencyTicks = 32;
+constexpr uint64_t kTuplesPerTick = 64;
+
+uint64_t PlanCostTicks(uint32_t rounds, uint64_t load) {
+  return uint64_t{rounds} * kRoundLatencyTicks +
+         (load + kTuplesPerTick - 1) / kTuplesPerTick;
+}

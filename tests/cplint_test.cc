@@ -144,6 +144,35 @@ TEST(CplintRules, DeterminismRulesGuardServicePaths) {
   }
 }
 
+TEST(CplintRules, DeterminismRulesGuardPlannerPaths) {
+  // Plan decisions must be pure functions of (query, p, stats): byte-diffed
+  // across thread counts by the determinism suite and across fault
+  // schedules by the chaos suite. That only holds if src/planner/ stays
+  // free of wall clocks, ambient rng, and unordered iteration — prove each
+  // rule live on a planner-flavored violation and quiet on the sanctioned
+  // counterpart.
+  const struct {
+    std::string rule;
+    std::string stem;
+    std::string planner_path;
+  } kCases[] = {
+      {"no-wall-clock", "planner_wall_clock", "src/planner/cost_model.cc"},
+      {"no-unseeded-rng", "planner_unseeded_rng", "src/planner/stats.cc"},
+      {"no-unordered-iteration", "planner_unordered_iteration",
+       "src/planner/join_order_dp.cc"},
+  };
+  for (const auto& c : kCases) {
+    const std::string bad = ReadFixture(c.stem + "_bad.cc");
+    const std::string good = ReadFixture(c.stem + "_good.cc");
+    EXPECT_TRUE(RuleNames(LintContent(c.planner_path, bad, {c.rule})).count(c.rule) > 0)
+        << c.rule << " did not fire on " << c.planner_path;
+    EXPECT_TRUE(LintContent(c.planner_path, good, {}).empty())
+        << c.rule << " false-positive on " << c.planner_path;
+    // Unfiltered, the full rule catalog must also surface the violation.
+    EXPECT_TRUE(RuleNames(LintContent(c.planner_path, bad, {})).count(c.rule) > 0);
+  }
+}
+
 TEST(CplintStrip, DropsCommentsAndLiteralContents) {
   const std::string content =
       "int a = 1;  // trailing time( comment\n"

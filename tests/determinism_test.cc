@@ -29,6 +29,9 @@
 #include "mpc/cluster.h"
 #include "mpc/exchange.h"
 #include "mpc/load_tracker.h"
+#include "planner/differential.h"
+#include "planner/plan_chooser.h"
+#include "planner/stats.h"
 #include "query/catalog.h"
 #include "relation/instance.h"
 #include "report_compare.h"
@@ -293,6 +296,45 @@ TEST_F(DeterminismTest, ServiceThroughputReportIsBitIdenticalAcrossThreadCounts)
   // the compared bytes.
   EXPECT_NE(serial_json.find("cache.open_c8_warm.hits"), std::string::npos);
   EXPECT_NE(serial_json.find("service.open_c8_cold.throughput_qpk"), std::string::npos);
+}
+
+TEST_F(DeterminismTest, PlannerAblationReportIsBitIdenticalAcrossThreadCounts) {
+  const bench::Experiment* experiment = bench::FindExperiment("planner_ablation");
+  ASSERT_NE(experiment, nullptr);
+  ThreadPool::SetGlobalThreads(1);
+  telemetry::RunReport serial = bench::RunExperiment(*experiment);
+  ThreadPool::SetGlobalThreads(4);
+  telemetry::RunReport parallel = bench::RunExperiment(*experiment);
+  EXPECT_TRUE(serial.ok);
+  const std::string serial_json = MaskTimers(ReportJson(serial));
+  EXPECT_EQ(serial_json, MaskTimers(ReportJson(parallel)));
+  // The diff above is only meaningful if the planner telemetry is really
+  // in the compared bytes.
+  EXPECT_NE(serial_json.find("planner.ablation.decisions_total"), std::string::npos);
+  EXPECT_NE(serial_json.find("planner.ablation.within_10pct_fraction"),
+            std::string::npos);
+  EXPECT_NE(serial_json.find("planner.ablation.cache_misses"), std::string::npos);
+}
+
+TEST_F(DeterminismTest, PlanChooserDecisionDigestsAreThreadCountInvariant) {
+  // The chooser reads shard-parallel statistics; every decision's byte
+  // digest (algorithm, estimates, LP numbers, per-candidate table) must be
+  // identical no matter how many threads built the stats.
+  const auto corpus = planner::BuildDifferentialCorpus(0x9DEC1DE, 12);
+  std::vector<std::string> serial;
+  ThreadPool::SetGlobalThreads(1);
+  for (const auto& c : corpus) {
+    const planner::StatsSnapshot stats = planner::BuildStatsSnapshot(c.query, c.instance);
+    serial.push_back(planner::PlanChooser::Choose(c.query, 32, stats).Digest());
+  }
+  ThreadPool::SetGlobalThreads(4);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const planner::StatsSnapshot stats =
+        planner::BuildStatsSnapshot(corpus[i].query, corpus[i].instance);
+    EXPECT_EQ(serial[i],
+              planner::PlanChooser::Choose(corpus[i].query, 32, stats).Digest())
+        << corpus[i].name;
+  }
 }
 
 // Cold-vs-warm cache invariance, straight on the service (no bench layer):
