@@ -8,8 +8,10 @@
 #include "mpc/exchange.h"
 #include "resilience/fault_injector.h"
 #include "telemetry/exchange_metrics.h"
+#include "telemetry/memory_metrics.h"
 #include "telemetry/metrics.h"
 #include "telemetry/resilience_metrics.h"
+#include "util/arena.h"
 #include "util/hash.h"
 
 namespace coverpack {
@@ -177,11 +179,15 @@ uint64_t ExperimentSeed(uint64_t site_seed) {
 telemetry::RunReport RunExperiment(const Experiment& experiment) {
   mpc::ExchangeTelemetry::Reset();
   resilience::ResilienceTelemetry::Reset();
+  MemoryTelemetry::Reset();
   telemetry::RunReport report = experiment.run(experiment);
   telemetry::SnapshotExchangeTelemetryInto(&report.metrics);
   // No-op unless this run executed exchanges under fault injection, so
   // fault-free reports keep their schema byte-identical.
   telemetry::SnapshotResilienceTelemetryInto(&report.metrics);
+  // Arena-scope accounting: logical bytes only, so the values are identical
+  // at any thread count or fault schedule (see DESIGN.md §4h).
+  telemetry::SnapshotMemoryTelemetryInto(&report.metrics);
   if (g_base_seed != 0) report.AddParam("base_seed", g_base_seed);
   return report;
 }

@@ -262,38 +262,43 @@ SubRun Engine::CaseOne(const Hypergraph& query, const Instance& instance, const 
   CP_CHECK(sx.Contains(e1));
 
   // ---- Step 1: degree statistics over x in the relations of S^x. ----
-  // Heavy: degree > L in at least one relation of S^x.
-  std::unordered_map<Value, uint64_t> max_degree;    // per value, max over S^x
-  std::unordered_map<Value, uint64_t> total_degree;  // per value, sum over S^x
+  // Heavy: degree > L in at least one relation of S^x. DegreeHistogram
+  // returns value-sorted runs, so the per-value max/total over S^x is a
+  // sort + run-length merge — no hash maps, and heavy/light come out
+  // value-sorted for free. `weights[i]` is the total degree of light[i]
+  // (the packing weight).
   uint64_t sx_total_size = 0;
+  std::vector<std::pair<Value, uint64_t>> degree_pairs;
   for (EdgeId e : sx.ToVector()) {
     sx_total_size += instance[e].size();
-    for (const auto& [value, count] : DegreeHistogram(instance[e], x)) {
-      auto& max_slot = max_degree[value];
-      max_slot = std::max(max_slot, count);
-      total_degree[value] += count;
-    }
+    auto histogram = DegreeHistogram(instance[e], x);
+    degree_pairs.insert(degree_pairs.end(), histogram.begin(), histogram.end());
   }
+  std::sort(degree_pairs.begin(), degree_pairs.end());
   std::vector<Value> heavy;
   std::vector<Value> light;
-  // Iteration order cannot escape: heavy and light are sorted immediately
-  // below, so the partition result is order-independent.
-  // cplint: allow(no-unordered-iteration)
-  for (const auto& [value, degree] : max_degree) {
-    if (degree > load_) {
+  std::vector<uint64_t> weights;  // total degree per light value
+  for (size_t i = 0; i < degree_pairs.size();) {
+    const Value value = degree_pairs[i].first;
+    uint64_t max_degree = 0;
+    uint64_t total_degree = 0;
+    size_t run = i;
+    while (run < degree_pairs.size() && degree_pairs[run].first == value) {
+      max_degree = std::max(max_degree, degree_pairs[run].second);
+      total_degree += degree_pairs[run].second;
+      ++run;
+    }
+    if (max_degree > load_) {
       heavy.push_back(value);
     } else {
       light.push_back(value);
+      weights.push_back(total_degree);
     }
+    i = run;
   }
-  std::sort(heavy.begin(), heavy.end());
-  std::sort(light.begin(), light.end());
 
   // Light groups via parallel-packing on total degree, capacity |S^x| * L.
   uint64_t capacity = std::max<uint64_t>(1, static_cast<uint64_t>(sx.size()) * load_);
-  std::vector<uint64_t> weights;
-  weights.reserve(light.size());
-  for (Value v : light) weights.push_back(total_degree[v]);
   // First-fit packing (the ParallelPack primitive, charged after the
   // cluster exists).
   std::vector<uint32_t> bin_of(light.size(), 0);

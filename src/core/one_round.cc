@@ -181,16 +181,7 @@ OneRoundResult ComputeOneRoundSkewAware(const Hypergraph& query, const Instance&
       for (uint32_t e = 0; e < item.query.num_edges(); ++e) {
         const Relation& source = item.instance[e];
         if (source.attrs().Contains(skew_attr)) {
-          // Remove heavy values.
-          Relation kept(source.attrs());
-          uint32_t col = source.ColumnOf(skew_attr);
-          for (size_t i = 0; i < source.size(); ++i) {
-            auto row = source.row(i);
-            if (!std::binary_search(heavy.begin(), heavy.end(), row[col])) {
-              kept.AppendRow(row);
-            }
-          }
-          light.instance[e] = std::move(kept);
+          light.instance[e] = SelectNotIn(source, skew_attr, heavy);
         } else {
           light.instance[e] = source;
         }

@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_map>
 
 #include "mpc/cluster.h"
 #include "mpc/exchange.h"
 #include "mpc/primitives.h"
 #include "query/join_tree.h"
+#include "relation/join_index.h"
 #include "relation/operators.h"
 #include "relation/oracle.h"
-#include "util/hash.h"
+#include "util/arena.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/thread_pool.h"
@@ -28,17 +28,6 @@ uint64_t SatMul(uint64_t a, uint64_t b) {
   if (a == 0 || b == 0) return 0;
   if (a > std::numeric_limits<uint64_t>::max() / b) return std::numeric_limits<uint64_t>::max();
   return a * b;
-}
-
-struct VectorHash {
-  size_t operator()(const std::vector<Value>& v) const { return HashVector(v); }
-};
-
-std::vector<Value> KeyOf(std::span<const Value> row, const std::vector<uint32_t>& cols) {
-  std::vector<Value> key;
-  key.reserve(cols.size());
-  for (uint32_t c : cols) key.push_back(row[c]);
-  return key;
 }
 
 }  // namespace
@@ -83,20 +72,24 @@ OutputBalancedResult ComputeOutputBalanced(const Hypergraph& query, const Instan
       AttrSet shared = query.edge(node).attrs.Intersect(query.edge(child).attrs);
       const Relation& parent_rel = reduced[node];
       const Relation& child_rel = reduced[child];
-      std::vector<uint32_t> pc;
-      std::vector<uint32_t> cc;
+      ArenaScope scope;
+      Arena* arena = scope.arena();
+      uint32_t* pc = arena->AllocateArray<uint32_t>(shared.size());
+      uint32_t* cc = arena->AllocateArray<uint32_t>(shared.size());
+      size_t nk = 0;
       for (AttrId a : shared.ToVector()) {
-        pc.push_back(parent_rel.ColumnOf(a));
-        cc.push_back(child_rel.ColumnOf(a));
+        pc[nk] = parent_rel.ColumnOf(a);
+        cc[nk] = child_rel.ColumnOf(a);
+        ++nk;
       }
-      std::unordered_map<std::vector<Value>, uint64_t, VectorHash> sums;
-      for (size_t i = 0; i < child_rel.size(); ++i) {
-        auto [it, inserted] = sums.try_emplace(KeyOf(child_rel.row(i), cc), 0);
-        it->second = SatAdd(it->second, weight[child][i]);
-      }
+      // Saturating per-exact-key aggregation of the child's weights (the
+      // grouped-hash replacement for the per-edge unordered_map).
+      KeyedWeightSums sums(arena);
+      sums.Build(child_rel, cc, nk, weight[child].data());
+      const Value* pbase = parent_rel.raw().data();
+      const uint32_t pwidth = parent_rel.width();
       for (size_t i = 0; i < parent_rel.size(); ++i) {
-        auto it = sums.find(KeyOf(parent_rel.row(i), pc));
-        weight[node][i] = SatMul(weight[node][i], it == sums.end() ? 0 : it->second);
+        weight[node][i] = SatMul(weight[node][i], sums.Lookup(pbase + i * pwidth, pc));
       }
     }
   }

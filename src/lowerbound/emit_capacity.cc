@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "util/arena.h"
 #include "util/logging.h"
 
 namespace coverpack {
@@ -26,35 +27,36 @@ std::vector<uint64_t> CandidateCounts(uint64_t domain) {
   return counts;
 }
 
-/// Expected number of tuples of a probabilistic relation inside the box
-/// prod_{v in e} [0, z_v): volume * N / prod dom(v).
-double ExpectedInBox(const Hypergraph& query, const HardInstance& hard, EdgeId e,
-                     const std::vector<uint64_t>& z) {
-  double volume = 1.0;
-  double domain = 1.0;
-  for (AttrId v : query.edge(e).attrs.ToVector()) {
-    volume *= static_cast<double>(z[v]);
-    domain *= static_cast<double>(hard.domain_sizes[v]);
-  }
-  return volume * static_cast<double>(hard.n) / domain;
-}
-
-/// Exact number of tuples of relation e inside the box, capped at `load`.
+/// Exact number of tuples of relation e inside the box
+/// prod_{v in e} [0, z_v), capped at `load`. Columnar: the row-major data is
+/// walked in blocks with a branch-free inside-the-box test per row, checking
+/// the cap only at block boundaries (counting in row order, so the cap fires
+/// at the same prefix as a row-at-a-time scan would).
 uint64_t ExactInBox(const Hypergraph& query, const HardInstance& hard, EdgeId e,
                     const std::vector<uint64_t>& z, uint64_t load) {
   const Relation& relation = hard.instance[e];
   std::vector<AttrId> attrs = query.edge(e).attrs.ToVector();
+  const size_t width = attrs.size();
+  const Value* base = relation.raw().data();
+  const size_t n = relation.size();
+  // Bounds in column order (columns follow ascending AttrId, like attrs).
+  uint64_t bound[64];
+  CP_CHECK_LE(width, sizeof(bound) / sizeof(bound[0]));
+  for (size_t c = 0; c < width; ++c) bound[c] = z[attrs[c]];
+
+  constexpr size_t kBlock = 1024;
   uint64_t count = 0;
-  for (size_t i = 0; i < relation.size(); ++i) {
-    auto row = relation.row(i);
-    bool inside = true;
-    for (size_t c = 0; c < attrs.size(); ++c) {
-      if (row[c] >= z[attrs[c]]) {
-        inside = false;
-        break;
-      }
+  for (size_t begin = 0; begin < n; begin += kBlock) {
+    const size_t end = std::min(n, begin + kBlock);
+    uint64_t in_block = 0;
+    const Value* row = base + begin * width;
+    for (size_t i = begin; i < end; ++i, row += width) {
+      uint64_t inside = 1;
+      for (size_t c = 0; c < width; ++c) inside &= (row[c] < bound[c]) ? 1u : 0u;
+      in_block += inside;
     }
-    if (inside && ++count >= load) break;
+    count += in_block;
+    if (count >= load) return load;
   }
   return std::min(count, load);
 }
@@ -81,65 +83,119 @@ EmitCapacityResult SearchEmitCapacity(const Hypergraph& query, const HardInstanc
   }
 
   std::vector<AttrId> attrs = query.AllAttrs().ToVector();
+  const size_t num_attrs = attrs.size();
   std::vector<std::vector<uint64_t>> candidates;
-  candidates.reserve(attrs.size());
+  candidates.reserve(num_attrs);
   for (AttrId v : attrs) candidates.push_back(CandidateCounts(hard.domain_sizes[v]));
 
-  // Deterministic load constraints: prod_{v in e} z_v <= load.
+  // Deterministic load constraints: prod_{v in e} z_v <= load. The DFS
+  // maintains one running product per deterministic edge, multiplied in
+  // attribute-binding order — the same ascending-AttrId sequence a fresh
+  // product over edge-intersect-bound would use, so pruning decisions are
+  // bit-identical to recomputation. Scratch lives in the per-thread arena.
   std::vector<AttrSet> deterministic_edges;
   for (uint32_t e = 0; e < query.num_edges(); ++e) {
     if (!probabilistic.Contains(e)) deterministic_edges.push_back(query.edge(e).attrs);
   }
+  const size_t num_det = deterministic_edges.size();
+
+  ArenaScope scope;
+  Arena* arena = scope.arena();
+  double* det_product = arena->AllocateArray<double>(std::max<size_t>(1, num_det));
+  for (size_t d = 0; d < num_det; ++d) det_product[d] = 1.0;
+  // det_of[depth] = indices of deterministic edges containing attrs[depth].
+  uint32_t** det_of = arena->AllocateArray<uint32_t*>(num_attrs);
+  uint32_t* det_of_count = arena->AllocateArray<uint32_t>(num_attrs);
+  for (size_t i = 0; i < num_attrs; ++i) {
+    det_of[i] = arena->AllocateArray<uint32_t>(std::max<size_t>(1, num_det));
+    det_of_count[i] = 0;
+    for (size_t d = 0; d < num_det; ++d) {
+      if (deterministic_edges[d].Contains(attrs[i])) det_of[i][det_of_count[i]++] = d;
+    }
+  }
+  // Per-depth saved products for backtracking (restore, never divide — a
+  // divide would reintroduce rounding and change pruning decisions).
+  double** saved_product = arena->AllocateArray<double*>(num_attrs);
+  for (size_t i = 0; i < num_attrs; ++i) {
+    saved_product[i] = arena->AllocateArray<double>(std::max<size_t>(1, num_det));
+  }
+
+  // Leaf-evaluation metadata, hoisted out of the enumeration: which
+  // attributes multiply directly (not covered by a probabilistic edge), and
+  // per probabilistic edge its attribute list and domain-size product
+  // (accumulated once in the same ascending order as before, so the divisor
+  // is the identical double).
+  std::vector<EdgeId> prob_edges = probabilistic.ToVector();
+  std::vector<std::vector<AttrId>> prob_edge_attrs;
+  std::vector<double> prob_edge_domain;
+  for (EdgeId e : prob_edges) {
+    prob_edge_attrs.push_back(query.edge(e).attrs.ToVector());
+    double domain = 1.0;
+    for (AttrId v : prob_edge_attrs.back()) {
+      domain *= static_cast<double>(hard.domain_sizes[v]);
+    }
+    prob_edge_domain.push_back(domain);
+  }
+  const double n_as_double = static_cast<double>(hard.n);
+  const double load_as_double = static_cast<double>(load);
 
   std::vector<Shape> top;
   std::vector<uint64_t> z(query.num_attrs(), 1);
 
-  // Depth-first enumeration with per-edge product pruning.
-  auto feasible_so_far = [&](size_t bound_upto) {
-    AttrSet bound;
-    for (size_t i = 0; i < bound_upto; ++i) bound.Insert(attrs[i]);
-    for (AttrSet edge : deterministic_edges) {
-      double product = 1.0;
-      for (AttrId v : edge.Intersect(bound).ToVector()) {
-        product *= static_cast<double>(z[v]);
-      }
-      if (product > static_cast<double>(load)) return false;
-    }
-    return true;
+  const auto shape_greater = [](const Shape& a, const Shape& b) {
+    return a.expected > b.expected;
   };
 
   std::function<void(size_t)> enumerate = [&](size_t depth) {
-    if (!feasible_so_far(depth)) return;
-    if (depth == attrs.size()) {
+    if (depth == num_attrs) {
       ++result.shapes_searched;
       double expected = 1.0;
       for (AttrId v : attrs) {
         if (!prob_attrs.Contains(v)) expected *= static_cast<double>(z[v]);
       }
-      for (EdgeId e : probabilistic.ToVector()) {
-        expected *= std::min(static_cast<double>(load), ExpectedInBox(query, hard, e, z));
-      }
       // Probabilistic edges are vertex-disjoint, so combinations over their
-      // attributes are exactly their in-box tuples (multiplied above);
-      // every other attribute contributes its loaded-value count.
+      // attributes are exactly their expected in-box tuples (volume * N /
+      // prod dom, capped at the load).
+      for (size_t pe = 0; pe < prob_edges.size(); ++pe) {
+        double volume = 1.0;
+        for (AttrId v : prob_edge_attrs[pe]) volume *= static_cast<double>(z[v]);
+        expected *=
+            std::min(load_as_double, volume * n_as_double / prob_edge_domain[pe]);
+      }
       result.expected_best = std::max(result.expected_best, expected);
       top.push_back(Shape{z, expected});
-      std::push_heap(top.begin(), top.end(),
-                     [](const Shape& a, const Shape& b) { return a.expected > b.expected; });
+      std::push_heap(top.begin(), top.end(), shape_greater);
       if (top.size() > exact_top_k) {
-        std::pop_heap(top.begin(), top.end(),
-                      [](const Shape& a, const Shape& b) { return a.expected > b.expected; });
+        std::pop_heap(top.begin(), top.end(), shape_greater);
         top.pop_back();
       }
       return;
     }
+    const uint32_t* touched = det_of[depth];
+    const uint32_t num_touched = det_of_count[depth];
+    double* saved = saved_product[depth];
     for (uint64_t candidate : candidates[depth]) {
       z[attrs[depth]] = candidate;
-      enumerate(depth + 1);
+      bool viable = true;
+      const double multiplier = static_cast<double>(candidate);
+      for (uint32_t t = 0; t < num_touched; ++t) {
+        const uint32_t d = touched[t];
+        saved[t] = det_product[d];
+        det_product[d] *= multiplier;
+        if (det_product[d] > load_as_double) viable = false;
+      }
+      if (viable) enumerate(depth + 1);
+      for (uint32_t t = 0; t < num_touched; ++t) det_product[touched[t]] = saved[t];
     }
     z[attrs[depth]] = 1;
   };
-  enumerate(0);
+  // The empty prefix is feasible iff every (empty) product 1.0 <= load;
+  // matches the historical root feasibility check.
+  bool root_feasible = true;
+  for (size_t d = 0; d < num_det; ++d) {
+    if (det_product[d] > load_as_double) root_feasible = false;
+  }
+  if (root_feasible) enumerate(0);
 
   // Exact evaluation of the best shapes.
   for (const Shape& shape : top) {
@@ -156,7 +212,7 @@ EmitCapacityResult SearchEmitCapacity(const Hypergraph& query, const HardInstanc
       }
     }
     if (overflow) continue;
-    for (EdgeId e : probabilistic.ToVector()) {
+    for (EdgeId e : prob_edges) {
       uint64_t in_box = ExactInBox(query, hard, e, shape.z, load);
       if (in_box != 0 && exact > UINT64_MAX / in_box) {
         overflow = true;

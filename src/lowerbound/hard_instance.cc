@@ -77,16 +77,21 @@ void ShardedBernoulliProcess(uint64_t total, double prob, uint64_t seed, Emit em
   }
 }
 
-/// Decodes a mixed-radix combination index into attribute values and
-/// appends it to the relation (row order follows ascending AttrId).
-void AppendCombination(Relation* relation, uint64_t index, const std::vector<uint64_t>& dims) {
-  std::vector<Value> row(dims.size());
-  uint64_t rest = index;
-  for (size_t c = 0; c < dims.size(); ++c) {
-    row[c] = rest % dims[c];
-    rest /= dims[c];
+/// Decodes mixed-radix combination indices into attribute values and
+/// appends them to the relation in one bulk write (row order follows
+/// ascending AttrId, rows in the order of `indices`).
+void AppendCombinations(Relation* relation, const std::vector<uint64_t>& indices,
+                        const std::vector<uint64_t>& dims) {
+  const size_t width = dims.size();
+  Value* out = relation->AppendUninitialized(indices.size());
+  for (uint64_t index : indices) {
+    uint64_t rest = index;
+    for (size_t c = 0; c < width; ++c) {
+      out[c] = rest % dims[c];
+      rest /= dims[c];
+    }
+    out += width;
   }
-  relation->AppendRow(std::span<const Value>(row));
 }
 
 }  // namespace
@@ -157,10 +162,10 @@ HardInstance BoxJoinHardInstance(const Hypergraph& query, uint64_t n, uint64_t s
       // Probabilistic: each (d, e, f) with probability 1/N. The stream is
       // split per edge so relations stay independent and replayable.
       double prob = 1.0 / static_cast<double>(effective_n);
-      Relation* relation = &hard.instance[e];
-      ShardedBernoulliProcess(
-          total, prob, SplitSeed(seed, e),
-          [&](uint64_t index) { AppendCombination(relation, index, dims); });
+      std::vector<uint64_t> hits;
+      ShardedBernoulliProcess(total, prob, SplitSeed(seed, e),
+                              [&](uint64_t index) { hits.push_back(index); });
+      AppendCombinations(&hard.instance[e], hits, dims);
     } else {
       CP_CHECK_EQ(total, effective_n) << "deterministic relation size drifted";
       hard.instance[e] = workload::Cartesian(edge.attrs, dims);
@@ -201,10 +206,10 @@ HardInstance DegreeTwoHardInstance(const Hypergraph& query, const PackingProvabi
       // Each combination with probability N / prod dom = N^{1 - sum x_v}.
       // Per-edge split seed keeps the relations independent and replayable.
       double prob = static_cast<double>(static_cast<long double>(n) / total);
-      Relation* relation = &hard.instance[e];
-      ShardedBernoulliProcess(
-          total_int, prob, SplitSeed(seed, e),
-          [&](uint64_t index) { AppendCombination(relation, index, dims); });
+      std::vector<uint64_t> hits;
+      ShardedBernoulliProcess(total_int, prob, SplitSeed(seed, e),
+                              [&](uint64_t index) { hits.push_back(index); });
+      AppendCombinations(&hard.instance[e], hits, dims);
     } else {
       // Deterministic: a Cartesian product of ~N tuples (sum x_v = 1 up to
       // the integer rounding of the domain sizes).

@@ -6,6 +6,7 @@
 #include "lp/simplex.h"
 #include "mpc/exchange.h"
 #include "relation/oracle.h"
+#include "util/arena.h"
 #include "util/audit.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -180,8 +181,13 @@ HypercubeResult HypercubeJoin(Cluster* cluster, const Hypergraph& query,
   CP_AUDIT_ONLY(audit::SimulatorAuditor::VerifyGridFits(shares.shares, shares.grid_size,
                                                         cluster->p(), "HypercubeJoin");)
 
-  // Mixed-radix strides over attribute dimensions.
-  std::vector<uint64_t> stride(num_attrs, 0);
+  // Mixed-radix strides over attribute dimensions. All routing scratch
+  // (strides, per-edge bound/free dimension arrays) lives in one arena
+  // frame: AddSource evaluates routes before returning, so nothing below
+  // outlives the frame.
+  ArenaScope scope;
+  Arena* arena = scope.arena();
+  uint64_t* stride = arena->AllocateArray<uint64_t>(num_attrs);
   uint64_t extent = 1;
   for (AttrId v = 0; v < num_attrs; ++v) {
     stride[v] = extent;
@@ -202,8 +208,7 @@ HypercubeResult HypercubeJoin(Cluster* cluster, const Hypergraph& query,
     const Relation& relation = instance[e];
     AttrSet edge_attrs = query.edge(e).attrs;
     // Free dimensions: attributes not in this relation with share > 1.
-    std::vector<AttrId> free_dims;
-    free_dims.reserve(num_attrs);
+    ArenaVector<AttrId> free_dims(arena);
     uint64_t free_combos = 1;
     for (AttrId v = 0; v < num_attrs; ++v) {
       if (!edge_attrs.Contains(v) && shares.shares[v] > 1) {
@@ -214,10 +219,8 @@ HypercubeResult HypercubeJoin(Cluster* cluster, const Hypergraph& query,
     // Hypercube replication factor: every tuple of e lands on exactly
     // free_combos grid cells, one per combination of free coordinates.
     CP_AUDIT_ONLY(expected_receives += relation.size() * free_combos;)
-    std::vector<uint32_t> cols;
-    std::vector<AttrId> bound;
-    cols.reserve(edge_attrs.size());
-    bound.reserve(edge_attrs.size());
+    ArenaVector<uint32_t> cols(arena);
+    ArenaVector<AttrId> bound(arena);
     for (AttrId v : edge_attrs.ToVector()) {
       bound.push_back(v);
       cols.push_back(relation.ColumnOf(v));

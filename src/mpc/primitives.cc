@@ -4,6 +4,7 @@
 
 #include "mpc/exchange.h"
 #include "relation/operators.h"
+#include "util/arena.h"
 #include "util/audit.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -77,26 +78,33 @@ std::unordered_map<Value, uint64_t> DegreeByValue(Cluster* cluster, const DistRe
                                                   AttrId attr, uint32_t* round) {
   // Local pre-aggregation is free; the exchange of (value, count) pairs and
   // the final combine are two O(N/p) rounds of the sort-based reduce-by-key.
-  // Per-shard local aggregation runs in parallel (each local map depends
-  // only on its own shard); the combine walks shards in ascending order so
-  // the result map's insertion order matches the serial path exactly.
+  // Per-shard aggregation runs in parallel as a column gather + sort +
+  // run-length encode over the pool thread's scratch arena (no hash table,
+  // no per-shard map allocations); the combine walks shards in ascending
+  // order, and the merged map's content is insertion-order independent.
   std::unordered_map<Value, uint64_t> degrees;
   uint64_t pair_count = 0;
-  std::vector<std::unordered_map<Value, uint64_t>> locals(input.num_shards());
+  std::vector<std::vector<std::pair<Value, uint64_t>>> locals(input.num_shards());
   ThreadPool::Global().ParallelFor(0, input.num_shards(), 1, [&](size_t s) {
     const Relation& shard = input.shard(static_cast<uint32_t>(s));
     if (shard.empty()) return;
-    uint32_t col = shard.ColumnOf(attr);
-    for (size_t i = 0; i < shard.size(); ++i) ++locals[s][shard.row(i)[col]];
+    const size_t n = shard.size();
+    const uint32_t width = shard.width();
+    const Value* src = shard.raw().data() + shard.ColumnOf(attr);
+    ArenaScope scope;
+    Value* values = scope.arena()->AllocateArray<Value>(n);
+    for (size_t i = 0; i < n; ++i) values[i] = src[i * width];
+    std::sort(values, values + n);
+    for (size_t i = 0; i < n;) {
+      size_t run = i + 1;
+      while (run < n && values[run] == values[i]) ++run;
+      locals[s].emplace_back(values[i], run - i);
+      i = run;
+    }
   });
   for (uint32_t s = 0; s < input.num_shards(); ++s) {
-    const std::unordered_map<Value, uint64_t>& local = locals[s];
-    if (local.empty()) continue;
-    pair_count += local.size();
-    // Pure commutative accumulation into a map keyed by value: the merged
-    // degrees are independent of iteration order.
-    // cplint: allow(no-unordered-iteration)
-    for (const auto& [value, count] : local) degrees[value] += count;
+    pair_count += locals[s].size();
+    for (const auto& [value, count] : locals[s]) degrees[value] += count;
   }
   // Reduce-by-key conserves counts: the degrees of all values must sum to
   // exactly the number of input tuples.

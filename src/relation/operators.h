@@ -22,6 +22,12 @@ Relation Select(const Relation& input, AttrId attr, Value value);
 /// sigma_{attr in values}(input); `values` should be sorted (binary search).
 Relation SelectIn(const Relation& input, AttrId attr, const std::vector<Value>& sorted_values);
 
+/// sigma_{attr not in values}(input); `values` should be sorted. The
+/// complement selection of the skew-split pipelines (rows whose value is
+/// not heavy), previously open-coded with per-row appends.
+Relation SelectNotIn(const Relation& input, AttrId attr,
+                     const std::vector<Value>& sorted_values);
+
 /// pi_{attrs}(input) with duplicate elimination (set semantics).
 Relation Project(const Relation& input, AttrSet attrs);
 

@@ -10,6 +10,7 @@
 #define COVERPACK_RELATION_RELATION_H_
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -57,8 +58,21 @@ class Relation {
   /// values, same layout as raw()). The bulk path of the Exchange layer and
   /// of result concatenation: one insert instead of per-row copies.
   void AppendRows(const Value* values, size_t count) {
+    CP_DCHECK(RowCountFits(count));
     if (width_ != 0) data_.insert(data_.end(), values, values + count * size_t{width_});
     num_rows_ += count;
+  }
+
+  /// Appends `count` rows of uninitialized storage and returns the write
+  /// cursor (count * width() values, row-major). The columnar operators
+  /// count their output first, append once, and fill in place — no per-row
+  /// growth checks. Callers must write every value before reading back.
+  Value* AppendUninitialized(size_t count) {
+    CP_DCHECK(RowCountFits(count));
+    size_t offset = data_.size();
+    data_.resize(offset + count * size_t{width_});
+    num_rows_ += count;
+    return data_.data() + offset;
   }
 
   /// Appends every row of `other`, which must share this schema.
@@ -78,7 +92,10 @@ class Relation {
   /// Value of `attr` in row i.
   Value At(size_t i, AttrId attr) const { return row(i)[ColumnOf(attr)]; }
 
-  void Reserve(size_t rows) { data_.reserve(rows * width_); }
+  void Reserve(size_t rows) {
+    CP_DCHECK(RowCountFits(rows));
+    data_.reserve(rows * size_t{width_});
+  }
   void Clear() {
     data_.clear();
     num_rows_ = 0;
@@ -111,6 +128,14 @@ class Relation {
   const std::vector<Value>& raw() const { return data_; }
 
  private:
+  /// Guards the `rows * width_` products of Reserve/Append against size_t
+  /// wraparound (a wrapped product would silently desync num_rows_ from the
+  /// flat storage).
+  bool RowCountFits(size_t rows) const {
+    if (width_ == 0) return num_rows_ <= std::numeric_limits<size_t>::max() - rows;
+    return rows <= (std::numeric_limits<size_t>::max() - data_.size()) / width_;
+  }
+
   AttrSet attrs_;
   uint32_t width_ = 0;
   size_t num_rows_ = 0;

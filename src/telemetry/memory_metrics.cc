@@ -1,0 +1,18 @@
+#include "telemetry/memory_metrics.h"
+
+#include "util/arena.h"
+
+namespace coverpack {
+namespace telemetry {
+
+void SnapshotMemoryTelemetryInto(MetricsRegistry* registry) {
+  const MemoryTelemetrySnapshot snapshot = MemoryTelemetry::Snapshot();
+  if (snapshot.scopes == 0) return;
+  registry->AddCounter("memory.arena_scopes", snapshot.scopes);
+  registry->AddCounter("memory.arena_bytes_total", snapshot.bytes_total);
+  registry->SetGauge("memory.arena_high_water_bytes",
+                     static_cast<double>(snapshot.high_water_bytes));
+}
+
+}  // namespace telemetry
+}  // namespace coverpack

@@ -1,0 +1,32 @@
+/// \file memory_metrics.h
+/// \brief Bridges the arena substrate's process-global scratch-memory
+/// telemetry into a MetricsRegistry (and therefore into RunReport /
+/// BENCH_results.json).
+///
+/// Lives in the telemetry library, not in util/arena.cc, because the
+/// dependency points this way: cp_telemetry links cp_util. The arena
+/// exposes a plain-struct snapshot; this translates it into the "memory.*"
+/// metric keys documented in EXPERIMENTS.md.
+
+#ifndef COVERPACK_TELEMETRY_MEMORY_METRICS_H_
+#define COVERPACK_TELEMETRY_MEMORY_METRICS_H_
+
+#include "telemetry/metrics.h"
+
+namespace coverpack {
+namespace telemetry {
+
+/// Writes the current MemoryTelemetry aggregate into `registry`: counters
+/// "memory.arena_scopes" and "memory.arena_bytes_total", and gauge
+/// "memory.arena_high_water_bytes". Every value is a pure function of the
+/// operator inputs (logical bytes per operator-level arena frame — never
+/// physical page counts), so reports stay byte-identical across thread
+/// counts and fault schedules. No-op when no arena scope has closed since
+/// the last MemoryTelemetry::Reset(), keeping schemas of arena-free runs
+/// unchanged. Call from the thread that owns `registry`.
+void SnapshotMemoryTelemetryInto(MetricsRegistry* registry);
+
+}  // namespace telemetry
+}  // namespace coverpack
+
+#endif  // COVERPACK_TELEMETRY_MEMORY_METRICS_H_

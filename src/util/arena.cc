@@ -1,0 +1,114 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+#include "util/mutex.h"
+
+namespace coverpack {
+
+void Arena::Reset() {
+  page_index_ = 0;
+  cursor_ = 0;
+  used_ = 0;
+  if (!pages_.empty()) {
+    base_ = pages_[0].data.get();
+    limit_ = pages_[0].size;
+  } else {
+    base_ = nullptr;
+    limit_ = 0;
+  }
+}
+
+void Arena::ActivatePage(size_t index) {
+  page_index_ = index;
+  base_ = pages_[index].data.get();
+  limit_ = pages_[index].size;
+  cursor_ = 0;
+}
+
+void* Arena::AllocateSlow(size_t bytes, size_t align) {
+  // Walk forward through already-reserved pages before growing.
+  size_t next = pages_.empty() ? 0 : page_index_ + 1;
+  while (next < pages_.size() && pages_[next].size < bytes) ++next;
+  if (next >= pages_.size()) {
+    size_t size = pages_.empty() ? kMinPageBytes
+                                 : std::min(pages_.back().size * 2, kMaxPageBytes);
+    // Oversized single requests get a dedicated page; alignment slack is
+    // bounded by `align` because fresh pages start at a max-aligned base.
+    if (size < bytes + align) size = bytes + align;
+    pages_.push_back(Page{std::make_unique<char[]>(size), size});
+    reserved_ += size;
+    next = pages_.size() - 1;
+  }
+  ActivatePage(next);
+  size_t cursor = (reinterpret_cast<uintptr_t>(base_) + (align - 1)) & ~(align - 1);
+  cursor -= reinterpret_cast<uintptr_t>(base_);
+  CP_CHECK(cursor + bytes <= limit_);
+  void* out = base_ + cursor;
+  cursor_ = cursor + bytes;
+  used_ += bytes;
+  return out;
+}
+
+void Arena::RewindTo(const Mark& mark) {
+  CP_DCHECK(mark.used <= used_);
+  if (mark.page < pages_.size()) {
+    ActivatePage(mark.page);
+  }
+  cursor_ = mark.cursor;
+  used_ = mark.used;
+}
+
+Arena& ScratchArena::Local() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+namespace {
+
+struct MemoryTelemetryState {
+  Mutex mu;
+  uint64_t scopes CP_GUARDED_BY(mu) = 0;
+  uint64_t bytes_total CP_GUARDED_BY(mu) = 0;
+  uint64_t high_water_bytes CP_GUARDED_BY(mu) = 0;
+};
+
+MemoryTelemetryState& TelemetryState() {
+  static MemoryTelemetryState* state = new MemoryTelemetryState();
+  return *state;
+}
+
+}  // namespace
+
+ArenaScope::~ArenaScope() {
+  MemoryTelemetry::RecordScope(used());
+  arena_->RewindTo(mark_);
+}
+
+void MemoryTelemetry::Reset() {
+  auto& state = TelemetryState();
+  MutexLock lock(state.mu);
+  state.scopes = 0;
+  state.bytes_total = 0;
+  state.high_water_bytes = 0;
+}
+
+void MemoryTelemetry::RecordScope(uint64_t bytes) {
+  auto& state = TelemetryState();
+  MutexLock lock(state.mu);
+  ++state.scopes;
+  state.bytes_total += bytes;
+  if (bytes > state.high_water_bytes) state.high_water_bytes = bytes;
+}
+
+MemoryTelemetrySnapshot MemoryTelemetry::Snapshot() {
+  auto& state = TelemetryState();
+  MutexLock lock(state.mu);
+  MemoryTelemetrySnapshot snapshot;
+  snapshot.scopes = state.scopes;
+  snapshot.bytes_total = state.bytes_total;
+  snapshot.high_water_bytes = state.high_water_bytes;
+  return snapshot;
+}
+
+}  // namespace coverpack

@@ -1,0 +1,10 @@
+// cplint fixture: per-row appends on a hot path (linted as src/mpc/...).
+void EmitMatches(const Relation& input, const std::vector<size_t>& matches,
+                 Relation* output) {
+  for (size_t i : matches) {
+    output->AppendRow(input.row(i));
+  }
+}
+void EmitConstant(Relation& output, Value value) {
+  output.AppendRow({value});
+}

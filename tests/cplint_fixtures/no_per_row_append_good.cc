@@ -1,0 +1,15 @@
+// cplint fixture: count-first bulk appends — the sanctioned hot-path shape.
+void EmitMatches(const Relation& input, const std::vector<size_t>& matches,
+                 Relation* output) {
+  output->Reserve(output->size() + matches.size());
+  Value* out = output->AppendUninitialized(matches.size());
+  const Value* base = input.raw().data();
+  const size_t width = input.width();
+  for (size_t i : matches) {
+    std::memcpy(out, base + i * width, width * sizeof(Value));
+    out += width;
+  }
+}
+void EmitAll(const Relation& input, Relation* output) {
+  output->AppendRows(input.raw().data(), input.size());
+}

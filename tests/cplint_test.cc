@@ -173,6 +173,39 @@ TEST(CplintRules, DeterminismRulesGuardPlannerPaths) {
   }
 }
 
+TEST(CplintRules, NoPerRowAppendGuardsHotPaths) {
+  // The columnar substrate's hot-path contract: src/mpc/ and src/query/
+  // append in bulk only (AppendRows/AppendUninitialized). The rule is
+  // path-scoped, so the fixtures are linted under explicit hot-path names
+  // and proven inert everywhere else (relation/ operators legitimately
+  // build rows one at a time in cold constructors and tests).
+  const std::string bad = ReadFixture("no_per_row_append_bad.cc");
+  const std::string good = ReadFixture("no_per_row_append_good.cc");
+  const std::string allowed = ReadFixture("no_per_row_append_allowed.cc");
+  for (const char* hot : {"src/mpc/primitives.cc", "src/query/hypergraph.cc"}) {
+    EXPECT_TRUE(RuleNames(LintContent(hot, bad, {"no-per-row-append"}))
+                    .count("no-per-row-append") > 0)
+        << "no-per-row-append did not fire on " << hot;
+    // Unfiltered, the full rule catalog must also surface the violation.
+    EXPECT_TRUE(
+        RuleNames(LintContent(hot, bad, {})).count("no-per-row-append") > 0);
+    EXPECT_TRUE(LintContent(hot, good, {"no-per-row-append"}).empty())
+        << "bulk appends false-positive on " << hot;
+    EXPECT_TRUE(LintContent(hot, allowed, {"no-per-row-append"}).empty())
+        << "allow() directive ignored on " << hot;
+  }
+  // AppendRows must never be mistaken for the per-row call.
+  EXPECT_TRUE(LintContent("src/mpc/exchange.cc",
+                          "void F(Relation* r, const Value* v, size_t n) {\n"
+                          "  r->AppendRows(v, n);\n"
+                          "}\n",
+                          {"no-per-row-append"})
+                  .empty());
+  // Outside the hot paths the rule stays quiet.
+  EXPECT_TRUE(LintContent("src/relation/operators.cc", bad, {"no-per-row-append"}).empty());
+  EXPECT_TRUE(LintContent("tests/relation_test.cc", bad, {"no-per-row-append"}).empty());
+}
+
 TEST(CplintStrip, DropsCommentsAndLiteralContents) {
   const std::string content =
       "int a = 1;  // trailing time( comment\n"

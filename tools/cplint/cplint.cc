@@ -22,6 +22,7 @@ const char kNoUnseededRng[] = "no-unseeded-rng";
 const char kNoUnorderedIteration[] = "no-unordered-iteration";
 const char kAuditPairing[] = "audit-pairing";
 const char kIncludeHygiene[] = "include-hygiene";
+const char kNoPerRowAppend[] = "no-per-row-append";
 
 // ---- Text utilities --------------------------------------------------------
 
@@ -313,6 +314,26 @@ void CheckIncludeHygiene(const FileContext& ctx, std::vector<Finding>* findings)
   }
 }
 
+/// no-per-row-append: Relation::AppendRow in the src/mpc/ and src/query/
+/// hot paths. Those layers sit on every experiment's critical path, and the
+/// columnar substrate's contract is count-first bulk appends (AppendRows /
+/// AppendUninitialized): one growth check and one contiguous copy per
+/// operator call instead of one per tuple. A stray per-row append is a
+/// quiet O(rows) regression the benchmarks only catch at full size.
+void CheckNoPerRowAppend(const FileContext& ctx, std::vector<Finding>* findings) {
+  const bool hot_path = ctx.path.find("src/mpc/") != std::string::npos ||
+                        ctx.path.find("src/query/") != std::string::npos;
+  if (!hot_path) return;
+  static const std::regex kPerRowAppend(R"((\.|->)\s*AppendRow\s*\()");
+  for (size_t i = 0; i < ctx.stripped.size(); ++i) {
+    if (std::regex_search(ctx.stripped[i], kPerRowAppend)) {
+      Emit(findings, ctx, i, kNoPerRowAppend,
+           "per-row AppendRow on a hot path; count the output first and use "
+           "AppendRows/AppendUninitialized for one bulk write");
+    }
+  }
+}
+
 }  // namespace
 
 // ---- Comment/string stripping ----------------------------------------------
@@ -419,6 +440,9 @@ const std::vector<RuleInfo>& Rules() {
       {kAuditPairing,
        "mutex-declaring files carry clang thread-safety annotations"},
       {kIncludeHygiene, "headers include what they use from util/"},
+      {kNoPerRowAppend,
+       "no per-row Relation::AppendRow in the src/mpc/ and src/query/ hot paths; "
+       "bulk AppendRows/AppendUninitialized only"},
   };
   return kRules;
 }
@@ -443,6 +467,7 @@ std::vector<Finding> LintContent(const std::string& path, const std::string& con
   if (enabled(kNoUnorderedIteration)) CheckNoUnorderedIteration(ctx, &findings);
   if (enabled(kAuditPairing)) CheckAuditPairing(ctx, &findings);
   if (enabled(kIncludeHygiene)) CheckIncludeHygiene(ctx, &findings);
+  if (enabled(kNoPerRowAppend)) CheckNoPerRowAppend(ctx, &findings);
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;

@@ -46,6 +46,13 @@
 ///                            CP_GUARDED_BY → util/thread_annotations.h,
 ///                            SplitSeed/Rng → util/random.h, HashCombine →
 ///                            util/hash.h, ThreadPool → util/thread_pool.h).
+///  * no-per-row-append     — no Relation::AppendRow call in src/mpc/ or
+///                            src/query/: those layers are on every
+///                            experiment's critical path, and the columnar
+///                            substrate's contract is count-first bulk
+///                            appends (AppendRows/AppendUninitialized) —
+///                            one growth check and one contiguous copy per
+///                            operator call instead of one per tuple.
 ///
 /// Known limits, by design of a line-level tool: analysis is per file (an
 /// unordered container returned by a function in another file is not
