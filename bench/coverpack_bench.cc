@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster_profile.h"
 #include "experiments/experiments.h"
 #include "experiments/runners.h"
 #include "resilience/fault_injector.h"
@@ -63,6 +64,7 @@ struct DriverOptions {
   resilience::FaultSpec faults;
   ServiceBenchOverrides service;
   PlannerBenchOverrides planner;
+  ClusterBenchOverrides cluster;
 };
 
 int Usage(std::ostream& os, int code) {
@@ -73,6 +75,7 @@ int Usage(std::ostream& os, int code) {
         "                       [--fault-seed=U] [--max-attempts=N]\n"
         "                       [--clients=N] [--arrival=MODE] [--zipf-s=X]\n"
         "                       [--no-cache] [--planner=MODE]\n"
+        "                       [--speeds=SPEC] [--elastic=SCHEDULE]\n"
         "  --list          list experiment ids and exit\n"
         "  --fast          run only the fast subset (the CI default)\n"
         "  --filter TERM   keep experiments whose id or display id matches\n"
@@ -100,7 +103,12 @@ int Usage(std::ostream& os, int code) {
         "  --planner=MODE  auto|one_round|acyclic|output_balanced: force the\n"
         "                  planner_ablation experiment's algorithm choice\n"
         "                  (default auto = the cost-based chooser; forcing\n"
-        "                  turns the claims into a diagnostic sweep)\n";
+        "                  turns the claims into a diagnostic sweep)\n"
+        "  --speeds=SPEC   narrow the cluster_elastic speed sweep to one\n"
+        "                  spec: uniform | halves:<speed> | geom:<max> |\n"
+        "                  seeded:<seed> | a comma list of speeds\n"
+        "  --elastic=SCHEDULE  narrow the cluster_elastic schedule sweep to\n"
+        "                  one schedule: none | +<k>@<round>,-<k>@<round>...\n";
   return code;
 }
 
@@ -135,6 +143,7 @@ int RunDriver(const DriverOptions& options) {
   SetExperimentBaseSeed(options.seed);
   SetServiceBenchOverrides(options.service);
   SetPlannerBenchOverrides(options.planner);
+  SetClusterBenchOverrides(options.cluster);
   // With any fault flag set, the whole selection runs under the injector —
   // including the serial reference runs, which still compare identical.
   std::unique_ptr<resilience::ScopedFaultInjection> injection;
@@ -299,6 +308,20 @@ int main(int argc, char** argv) {
       if (!coverpack::service::ParsePlannerMode(options.planner.mode).has_value()) {
         std::cerr << "coverpack_bench: --planner must be auto, one_round, acyclic, "
                      "or output_balanced\n";
+        return coverpack::bench::Usage(std::cerr, 2);
+      }
+    } else if (arg.rfind("--speeds=", 0) == 0) {
+      options.cluster.speeds = arg.substr(9);
+      if (!coverpack::cluster::ParseSpeedSpec(options.cluster.speeds).has_value()) {
+        std::cerr << "coverpack_bench: --speeds must be uniform, halves:<speed>, "
+                     "geom:<max>, seeded:<seed>, or a comma list of speeds\n";
+        return coverpack::bench::Usage(std::cerr, 2);
+      }
+    } else if (arg.rfind("--elastic=", 0) == 0) {
+      options.cluster.elastic = arg.substr(10);
+      if (!coverpack::cluster::ParseElasticSpec(options.cluster.elastic).has_value()) {
+        std::cerr << "coverpack_bench: --elastic must be none or a comma list of "
+                     "+<k>@<round> / -<k>@<round> events with round >= 1\n";
         return coverpack::bench::Usage(std::cerr, 2);
       }
     } else if (arg == "--help" || arg == "-h") {

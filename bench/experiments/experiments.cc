@@ -4,9 +4,11 @@
 #include <cctype>
 #include <iostream>
 
+#include "cluster/cluster_telemetry.h"
 #include "experiments/runners.h"
 #include "mpc/exchange.h"
 #include "resilience/fault_injector.h"
+#include "telemetry/cluster_metrics.h"
 #include "telemetry/exchange_metrics.h"
 #include "telemetry/memory_metrics.h"
 #include "telemetry/metrics.h"
@@ -91,6 +93,12 @@ const std::vector<Experiment>& AllExperiments() {
        ">= 95% of a seeded differential corpus and never loses the "
        "theoretical exponent (<= 4x best on every case)",
        /*fast=*/true, &RunPlannerAblation},
+      {"cluster_elastic", "Heterogeneous elastic cluster", "ClusterElastic",
+       "speed-aware placement never loses to uniform placement and keeps the "
+       "N/p^(1/rho*) exponent; elastic join/leave migrations conserve every "
+       "row, are byte-invisible when no event fires, and recover "
+       "bit-identically under a crash storm",
+       /*fast=*/true, &RunClusterElastic},
   };
   return kExperiments;
 }
@@ -179,12 +187,16 @@ uint64_t ExperimentSeed(uint64_t site_seed) {
 telemetry::RunReport RunExperiment(const Experiment& experiment) {
   mpc::ExchangeTelemetry::Reset();
   resilience::ResilienceTelemetry::Reset();
+  cluster::ClusterTelemetry::Reset();
   MemoryTelemetry::Reset();
   telemetry::RunReport report = experiment.run(experiment);
   telemetry::SnapshotExchangeTelemetryInto(&report.metrics);
   // No-op unless this run executed exchanges under fault injection, so
   // fault-free reports keep their schema byte-identical.
   telemetry::SnapshotResilienceTelemetryInto(&report.metrics);
+  // Same schema-invariance contract for the elastic-cluster ledger: only
+  // runs that built a ClusterProfile pipeline emit cluster.* keys.
+  telemetry::SnapshotClusterTelemetryInto(&report.metrics);
   // Arena-scope accounting: logical bytes only, so the values are identical
   // at any thread count or fault schedule (see DESIGN.md §4h).
   telemetry::SnapshotMemoryTelemetryInto(&report.metrics);

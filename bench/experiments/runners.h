@@ -47,6 +47,7 @@ telemetry::RunReport RunOutputSensitivity(const Experiment& e);
 telemetry::RunReport RunResilienceOverhead(const Experiment& e);
 telemetry::RunReport RunServiceThroughput(const Experiment& e);
 telemetry::RunReport RunPlannerAblation(const Experiment& e);
+telemetry::RunReport RunClusterElastic(const Experiment& e);
 
 /// Driver-flag overrides for the service_throughput experiment — the
 /// --clients / --arrival / --zipf-s / --no-cache flags of coverpack_bench.
@@ -67,6 +68,17 @@ struct PlannerBenchOverrides {
   std::string mode;  ///< "", "auto", "one_round", "acyclic", "output_balanced"
 };
 void SetPlannerBenchOverrides(const PlannerBenchOverrides& overrides);
+
+/// Driver-flag overrides for the cluster_elastic experiment — the --speeds
+/// and --elastic flags of coverpack_bench. Empty strings keep the
+/// registered sweep (all speed specs x all schedules); a value narrows the
+/// sweep to that single point. Values are validated by ParseSpeedSpec /
+/// ParseElasticSpec at the driver.
+struct ClusterBenchOverrides {
+  std::string speeds;   ///< "" = sweep; else one SpeedSpec flag value
+  std::string elastic;  ///< "" = sweep; else one ElasticSpec flag value
+};
+void SetClusterBenchOverrides(const ClusterBenchOverrides& overrides);
 
 }  // namespace bench
 }  // namespace coverpack

@@ -1,0 +1,94 @@
+#include "cluster/cluster_telemetry.h"
+
+#include <algorithm>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace coverpack {
+namespace cluster {
+
+namespace {
+
+/// The process-global ledger. Same shape as the resilience ledger: one
+/// mutex, plain guarded fields, snapshot by copy under the lock.
+struct LedgerState {
+  Mutex mutex;
+  uint64_t runs CP_GUARDED_BY(mutex) = 0;
+  uint64_t migrations CP_GUARDED_BY(mutex) = 0;
+  uint64_t servers_joined CP_GUARDED_BY(mutex) = 0;
+  uint64_t servers_left CP_GUARDED_BY(mutex) = 0;
+  uint64_t tuples_migrated CP_GUARDED_BY(mutex) = 0;
+  uint64_t tuples_from_leavers CP_GUARDED_BY(mutex) = 0;
+  uint64_t tuples_to_joiners CP_GUARDED_BY(mutex) = 0;
+  uint64_t checkpoints_captured CP_GUARDED_BY(mutex) = 0;
+  uint64_t checkpoint_tuples CP_GUARDED_BY(mutex) = 0;
+  uint64_t max_single_migration CP_GUARDED_BY(mutex) = 0;
+  std::vector<double> migration_samples CP_GUARDED_BY(mutex);
+};
+
+LedgerState& Ledger() {
+  static LedgerState* state = new LedgerState();
+  return *state;
+}
+
+}  // namespace
+
+void ClusterTelemetry::Reset() {
+  LedgerState& state = Ledger();
+  MutexLock lock(state.mutex);
+  state.runs = 0;
+  state.migrations = 0;
+  state.servers_joined = 0;
+  state.servers_left = 0;
+  state.tuples_migrated = 0;
+  state.tuples_from_leavers = 0;
+  state.tuples_to_joiners = 0;
+  state.checkpoints_captured = 0;
+  state.checkpoint_tuples = 0;
+  state.max_single_migration = 0;
+  state.migration_samples.clear();
+}
+
+void ClusterTelemetry::RecordRun() {
+  LedgerState& state = Ledger();
+  MutexLock lock(state.mutex);
+  ++state.runs;
+}
+
+void ClusterTelemetry::RecordMigration(const MigrationRecord& record) {
+  LedgerState& state = Ledger();
+  MutexLock lock(state.mutex);
+  ++state.migrations;
+  state.servers_joined += record.servers_joined;
+  state.servers_left += record.servers_left;
+  state.tuples_migrated += record.tuples_moved;
+  state.tuples_from_leavers += record.tuples_from_leavers;
+  state.tuples_to_joiners += record.tuples_to_joiners;
+  ++state.checkpoints_captured;
+  state.checkpoint_tuples += record.checkpoint_tuples;
+  state.max_single_migration =
+      std::max(state.max_single_migration, record.max_single_receive);
+  state.migration_samples.push_back(static_cast<double>(record.tuples_moved));
+}
+
+ClusterTelemetrySnapshot ClusterTelemetry::Snapshot() {
+  LedgerState& state = Ledger();
+  MutexLock lock(state.mutex);
+  ClusterTelemetrySnapshot snapshot;
+  snapshot.runs = state.runs;
+  snapshot.migrations = state.migrations;
+  snapshot.servers_joined = state.servers_joined;
+  snapshot.servers_left = state.servers_left;
+  snapshot.tuples_migrated = state.tuples_migrated;
+  snapshot.tuples_from_leavers = state.tuples_from_leavers;
+  snapshot.tuples_to_joiners = state.tuples_to_joiners;
+  snapshot.checkpoints_captured = state.checkpoints_captured;
+  snapshot.checkpoint_tuples = state.checkpoint_tuples;
+  snapshot.max_single_migration = state.max_single_migration;
+  snapshot.migration_samples = state.migration_samples;
+  return snapshot;
+}
+
+}  // namespace cluster
+}  // namespace coverpack

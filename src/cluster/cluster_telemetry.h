@@ -1,0 +1,59 @@
+/// \file cluster_telemetry.h
+/// \brief Process-global ledger of elastic-cluster activity.
+///
+/// Mirrors ExchangeTelemetry / ResilienceTelemetry: Reset before a run,
+/// Record from the migration machinery, Snapshot into RunReport metrics
+/// ("cluster.*" keys — see telemetry/cluster_metrics.h). Everything
+/// recorded is content-determined (epoch transitions, planned migration
+/// volumes), never schedule- or thread-dependent, so cluster.* values are
+/// bit-identical across thread counts and fault plans — the determinism
+/// suite relies on this.
+
+#ifndef COVERPACK_CLUSTER_CLUSTER_TELEMETRY_H_
+#define COVERPACK_CLUSTER_CLUSTER_TELEMETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace coverpack {
+namespace cluster {
+
+/// Point-in-time copy of the ledger. Sample vectors hold integer-valued
+/// doubles, so histogram aggregates downstream are exact.
+struct ClusterTelemetrySnapshot {
+  uint64_t runs = 0;                ///< elastic pipelines executed
+  uint64_t migrations = 0;          ///< rebalancing exchanges executed
+  uint64_t servers_joined = 0;      ///< servers activated across all epochs
+  uint64_t servers_left = 0;        ///< servers deactivated across all epochs
+  uint64_t tuples_migrated = 0;     ///< total planned migration volume
+  uint64_t tuples_from_leavers = 0; ///< ... of which drained off leavers
+  uint64_t tuples_to_joiners = 0;   ///< ... of which seeded joiners
+  uint64_t checkpoints_captured = 0;  ///< round-boundary snapshots noted
+  uint64_t checkpoint_tuples = 0;     ///< tuples those snapshots protected
+  uint64_t max_single_migration = 0;  ///< largest per-server migration receive
+  std::vector<double> migration_samples;  ///< tuples moved, one per migration
+};
+
+class ClusterTelemetry {
+ public:
+  /// One migration's worth of accounting, merged atomically.
+  struct MigrationRecord {
+    uint32_t servers_joined = 0;
+    uint32_t servers_left = 0;
+    uint64_t tuples_moved = 0;
+    uint64_t tuples_from_leavers = 0;
+    uint64_t tuples_to_joiners = 0;
+    uint64_t max_single_receive = 0;
+    uint64_t checkpoint_tuples = 0;
+  };
+
+  static void Reset();
+  static void RecordRun();
+  static void RecordMigration(const MigrationRecord& record);
+  static ClusterTelemetrySnapshot Snapshot();
+};
+
+}  // namespace cluster
+}  // namespace coverpack
+
+#endif  // COVERPACK_CLUSTER_CLUSTER_TELEMETRY_H_

@@ -1,0 +1,159 @@
+#include "cluster/routing.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "cluster/cluster_profile.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace coverpack {
+namespace cluster {
+
+SpeedWeightedRouter::SpeedWeightedRouter(std::vector<uint32_t> slots,
+                                         std::vector<double> speeds)
+    : slots_(std::move(slots)), speeds_(std::move(speeds)) {
+  CP_CHECK(!slots_.empty());
+  CP_CHECK_EQ(slots_.size(), speeds_.size());
+  prefix_.reserve(speeds_.size());
+  double total = 0.0;
+  for (size_t i = 0; i < speeds_.size(); ++i) {
+    CP_CHECK(speeds_[i] > 0.0);
+    if (i > 0) CP_CHECK_GT(slots_[i], slots_[i - 1]);
+    total += speeds_[i];
+    prefix_.push_back(total);
+  }
+}
+
+uint32_t SpeedWeightedRouter::PickByHash(uint64_t hash) const {
+  // Map the hash's high 53 bits to a point in [0, total_weight); the slot
+  // whose prefix interval contains it receives the row. Pure arithmetic on
+  // the hash: identical at any thread count.
+  const double unit = static_cast<double>(hash >> 11) * 0x1.0p-53;
+  const double point = unit * prefix_.back();
+  const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), point);
+  const size_t index = std::min<size_t>(it - prefix_.begin(), slots_.size() - 1);
+  return slots_[index];
+}
+
+std::vector<uint64_t> SpeedWeightedRouter::ScatterTargets(uint64_t total_rows) const {
+  return ProportionalShares(speeds_, total_rows);
+}
+
+size_t AddWeightedScatter(mpc::ExchangePlan* plan, const Relation& source,
+                          const SpeedWeightedRouter& router, bool record) {
+  const std::vector<uint64_t> targets = router.ScatterTargets(source.size());
+  // Cumulative block boundaries: rows [cuts[b-1], cuts[b]) -> slots()[b].
+  std::vector<uint64_t> cuts(targets.size());
+  uint64_t running = 0;
+  for (size_t b = 0; b < targets.size(); ++b) {
+    running += targets[b];
+    cuts[b] = running;
+  }
+  const std::vector<uint32_t> slots = router.slots();
+  return plan->AddSource(source, record, [cuts, slots](size_t i, auto emit) {
+    const auto it = std::upper_bound(cuts.begin(), cuts.end(), static_cast<uint64_t>(i));
+    emit(slots[it - cuts.begin()]);
+  });
+}
+
+size_t AddWeightedHashPartition(mpc::ExchangePlan* plan, const Relation& source,
+                                const std::vector<uint32_t>& key_columns, uint64_t salt,
+                                const SpeedWeightedRouter& router, bool record) {
+  const SpeedWeightedRouter* r = &router;
+  return plan->AddSource(source, record,
+                         [r, salt, &key_columns, &source](size_t i, auto emit) {
+                           uint64_t h = HashCombine(0x9E3779B97F4A7C15ull, salt);
+                           const auto row = source.row(i);
+                           for (uint32_t c : key_columns) h = HashCombine(h, row[c]);
+                           emit(r->PickByHash(MixHash(h)));
+                         });
+}
+
+FoldedMakespan PlacementMakespan(const LoadTracker& virtual_tracker,
+                                 const std::vector<uint32_t>& assignment,
+                                 const std::vector<double>& speeds) {
+  CP_CHECK_EQ(assignment.size(), virtual_tracker.num_servers());
+  FoldedMakespan result;
+  result.round_makespans.reserve(virtual_tracker.num_rounds());
+  std::vector<double> folded(speeds.size());
+  for (uint32_t r = 0; r < virtual_tracker.num_rounds(); ++r) {
+    std::fill(folded.begin(), folded.end(), 0.0);
+    for (uint32_t v = 0; v < virtual_tracker.num_servers(); ++v) {
+      const uint32_t s = assignment[v];
+      CP_DCHECK(s < speeds.size());
+      folded[s] += static_cast<double>(virtual_tracker.At(r, v));
+    }
+    double round_makespan = 0.0;
+    for (size_t s = 0; s < folded.size(); ++s) {
+      round_makespan = std::max(round_makespan, folded[s] / speeds[s]);
+    }
+    result.round_makespans.push_back(round_makespan);
+    result.makespan += round_makespan;
+  }
+  return result;
+}
+
+std::vector<uint32_t> AssignVirtualServers(const std::vector<double>& virtual_total_loads,
+                                           const std::vector<double>& speeds) {
+  CP_CHECK(!speeds.empty());
+  std::vector<size_t> order(virtual_total_loads.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return virtual_total_loads[a] > virtual_total_loads[b];
+  });
+  std::vector<double> assigned(speeds.size(), 0.0);
+  std::vector<uint32_t> assignment(virtual_total_loads.size(), 0);
+  for (size_t v : order) {
+    uint32_t best = 0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (uint32_t s = 0; s < speeds.size(); ++s) {
+      const double finish = (assigned[s] + virtual_total_loads[v]) / speeds[s];
+      if (finish < best_finish) {
+        best_finish = finish;
+        best = s;
+      }
+    }
+    assignment[v] = best;
+    assigned[best] += virtual_total_loads[v];
+  }
+  return assignment;
+}
+
+PlacementChoice ChoosePlacement(const LoadTracker& virtual_tracker,
+                                const std::vector<double>& speeds) {
+  const uint32_t num_virtual = virtual_tracker.num_servers();
+  std::vector<double> totals(num_virtual, 0.0);
+  for (uint32_t r = 0; r < virtual_tracker.num_rounds(); ++r) {
+    for (uint32_t v = 0; v < num_virtual; ++v) {
+      totals[v] += static_cast<double>(virtual_tracker.At(r, v));
+    }
+  }
+  PlacementChoice choice;
+  choice.assignment = AssignVirtualServers(totals, speeds);
+  const double lpt_makespan =
+      PlacementMakespan(virtual_tracker, choice.assignment, speeds).makespan;
+  choice.makespan = lpt_makespan;
+  if (num_virtual == speeds.size()) {
+    std::vector<uint32_t> identity(num_virtual);
+    std::iota(identity.begin(), identity.end(), 0u);
+    choice.identity_makespan =
+        PlacementMakespan(virtual_tracker, identity, speeds).makespan;
+    // The policy never does worse than speed-oblivious placement: identity
+    // stays a candidate and wins ties.
+    if (choice.identity_makespan < lpt_makespan) {
+      choice.assignment = std::move(identity);
+      choice.makespan = choice.identity_makespan;
+    } else {
+      choice.lpt_won = lpt_makespan < choice.identity_makespan;
+    }
+  } else {
+    choice.identity_makespan = lpt_makespan;
+    choice.lpt_won = false;
+  }
+  return choice;
+}
+
+}  // namespace cluster
+}  // namespace coverpack

@@ -1,0 +1,117 @@
+/// \file routing.h
+/// \brief Heterogeneity-aware routing and placement over the Exchange seam.
+///
+/// Two layers, both deterministic and both honoring the charge-choke-point
+/// invariant (all data movement goes through ExchangePlan/Exchange::Execute,
+/// nothing here touches a LoadTracker directly):
+///
+///  * **Routing** — SpeedWeightedRouter turns an epoch's (slots, speeds)
+///    into route functions for ExchangePlan::AddSource. Scatter routes row
+///    i into contiguous blocks sized by largest-remainder apportionment
+///    (shares exactly proportional to speed); hash partition picks the
+///    destination by weighted binary search on the key hash (same key ->
+///    same server, shares proportional in expectation). Conservation
+///    audits and telemetry apply unchanged, because the only thing that
+///    changed is the route function.
+///
+///  * **Placement** — the cost model as a policy. A run's LoadTracker is
+///    read as p *virtual* servers; AssignVirtualServers folds them onto
+///    physical servers (LPT greedy on speed-scaled finish times) and
+///    ChoosePlacement evaluates every candidate assignment under the
+///    folded makespan, keeping the argmin. The identity assignment is
+///    always a candidate, so the chosen placement's makespan is <= the
+///    speed-oblivious baseline by construction — the interesting question,
+///    answered by the cluster_elastic experiment, is how often and by how
+///    much the speed-aware fold wins.
+
+#ifndef COVERPACK_CLUSTER_ROUTING_H_
+#define COVERPACK_CLUSTER_ROUTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/exchange.h"
+#include "mpc/load_tracker.h"
+#include "relation/relation.h"
+
+namespace coverpack {
+namespace cluster {
+
+/// Weighted destination picking over an active server set. Immutable after
+/// construction; all queries are pure.
+class SpeedWeightedRouter {
+ public:
+  /// `slots` are the destination server ids (ascending), `speeds` their
+  /// weights (> 0), aligned by index.
+  SpeedWeightedRouter(std::vector<uint32_t> slots, std::vector<double> speeds);
+
+  uint32_t num_destinations() const { return static_cast<uint32_t>(slots_.size()); }
+  const std::vector<uint32_t>& slots() const { return slots_; }
+  const std::vector<double>& speeds() const { return speeds_; }
+
+  /// Slot receiving a row with key hash `hash`: binary search of the
+  /// speed-prefix-sum at a point derived from the hash's high bits.
+  /// Share of hash space per slot is proportional to its speed.
+  uint32_t PickByHash(uint64_t hash) const;
+
+  /// Exact largest-remainder row targets for `total_rows` rows, aligned
+  /// with slots().
+  std::vector<uint64_t> ScatterTargets(uint64_t total_rows) const;
+
+ private:
+  std::vector<uint32_t> slots_;
+  std::vector<double> speeds_;
+  std::vector<double> prefix_;  ///< inclusive prefix sums of speeds_
+};
+
+/// Adds `source` to `plan` routed in contiguous blocks whose sizes are the
+/// router's exact proportional scatter targets: block b goes to
+/// router.slots()[b]. Load shares are proportional to speed to the tuple.
+/// Returns the plan source index.
+size_t AddWeightedScatter(mpc::ExchangePlan* plan, const Relation& source,
+                          const SpeedWeightedRouter& router, bool record);
+
+/// Adds `source` to `plan` hash-partitioned on `key_columns`: destination
+/// = router.PickByHash(hash of key columns mixed with `salt`). Same key
+/// always lands on the same server. Returns the plan source index.
+size_t AddWeightedHashPartition(mpc::ExchangePlan* plan, const Relation& source,
+                                const std::vector<uint32_t>& key_columns, uint64_t salt,
+                                const SpeedWeightedRouter& router, bool record);
+
+/// The makespan of a run when virtual server v's loads are executed on
+/// physical server assignment[v]: Σ_r max_s (Σ_{v: a[v]=s} load(r,v)) / speed_s.
+/// Read-only over the tracker — folding happens in the cost model, never
+/// by re-charging loads.
+struct FoldedMakespan {
+  double makespan = 0.0;
+  std::vector<double> round_makespans;
+};
+FoldedMakespan PlacementMakespan(const LoadTracker& virtual_tracker,
+                                 const std::vector<uint32_t>& assignment,
+                                 const std::vector<double>& speeds);
+
+/// LPT greedy on related machines: virtual servers in descending total
+/// load (ties by index) each go to the physical server minimizing the
+/// resulting speed-scaled finish time (ties by lower server index).
+std::vector<uint32_t> AssignVirtualServers(const std::vector<double>& virtual_total_loads,
+                                           const std::vector<double>& speeds);
+
+/// The placement policy: evaluates candidate virtual->physical assignments
+/// (the LPT fold and, when the counts match, the identity assignment)
+/// under PlacementMakespan and returns the best. `makespan` is the
+/// winner's; `identity_makespan` the speed-oblivious baseline (identity
+/// assignment), so makespan <= identity_makespan always holds when the
+/// tracker has num_servers() == speeds.size().
+struct PlacementChoice {
+  std::vector<uint32_t> assignment;
+  double makespan = 0.0;
+  double identity_makespan = 0.0;
+  bool lpt_won = false;  ///< the speed-aware fold strictly beat identity
+};
+PlacementChoice ChoosePlacement(const LoadTracker& virtual_tracker,
+                                const std::vector<double>& speeds);
+
+}  // namespace cluster
+}  // namespace coverpack
+
+#endif  // COVERPACK_CLUSTER_ROUTING_H_

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
+
 namespace coverpack {
 namespace resilience {
 
-MakespanBreakdown SimulateMakespan(const LoadTracker& tracker, const FaultPlan& plan) {
+namespace {
+
+/// Shared core: `speed_of(round, server)` must return a positive speed.
+template <typename SpeedFn>
+MakespanBreakdown SimulateMakespanImpl(const LoadTracker& tracker, const SpeedFn& speed_of) {
   MakespanBreakdown breakdown;
   breakdown.round_makespans.reserve(tracker.num_rounds());
   for (uint32_t r = 0; r < tracker.num_rounds(); ++r) {
@@ -15,7 +21,7 @@ MakespanBreakdown SimulateMakespan(const LoadTracker& tracker, const FaultPlan& 
     for (uint32_t s = 0; s < tracker.num_servers(); ++s) {
       const uint64_t load = tracker.At(r, s);
       if (load == 0) continue;
-      const double speed = plan.SpeedOf(r, s);
+      const double speed = speed_of(r, s);
       const double finish = static_cast<double>(load) / speed;
       if (finish > round_makespan) {
         round_makespan = finish;
@@ -34,6 +40,20 @@ MakespanBreakdown SimulateMakespan(const LoadTracker& tracker, const FaultPlan& 
     breakdown.slowdown = breakdown.makespan / breakdown.uniform_makespan;
   }
   return breakdown;
+}
+
+}  // namespace
+
+MakespanBreakdown SimulateMakespan(const LoadTracker& tracker,
+                                   const std::vector<double>& speeds) {
+  CP_CHECK_GE(speeds.size(), tracker.num_servers());
+  return SimulateMakespanImpl(tracker,
+                              [&speeds](uint32_t, uint32_t s) { return speeds[s]; });
+}
+
+MakespanBreakdown SimulateMakespan(const LoadTracker& tracker, const FaultPlan& plan) {
+  return SimulateMakespanImpl(
+      tracker, [&plan](uint32_t r, uint32_t s) { return plan.SpeedOf(r, s); });
 }
 
 }  // namespace resilience

@@ -8,11 +8,13 @@
 ///
 ///     makespan = Σ_r  max_s  load(r, s) / speed(r, s)
 ///
-/// where speed comes from the FaultPlan's straggler schedule. With uniform
-/// speeds this collapses to Σ_r MaxLoadOfRound(r) — the round-summed load
-/// the paper's O(1)-round bounds control — so the model strictly extends
-/// the paper's measure. Computed post-run from the LoadTracker; nothing
-/// here mutates simulator state.
+/// where speed comes either from a FaultPlan's straggler schedule or from
+/// a standalone per-server speed vector (a ClusterProfile's fleet — the
+/// cost model works without any fault machinery). With uniform speeds this
+/// collapses to Σ_r MaxLoadOfRound(r) — the round-summed load the paper's
+/// O(1)-round bounds control — so the model strictly extends the paper's
+/// measure. Computed post-run from the LoadTracker; nothing here mutates
+/// simulator state.
 
 #ifndef COVERPACK_RESILIENCE_COST_MODEL_H_
 #define COVERPACK_RESILIENCE_COST_MODEL_H_
@@ -36,8 +38,16 @@ struct MakespanBreakdown {
   std::vector<double> round_makespans;  ///< per-round max_s load/speed
 };
 
+/// Evaluates the heterogeneous makespan of `tracker` under a standalone
+/// per-server speed vector, constant across rounds (speeds.size() must be
+/// >= tracker.num_servers(); all speeds > 0). A server counts as a
+/// straggler bottleneck when its speed is below 1.
+MakespanBreakdown SimulateMakespan(const LoadTracker& tracker,
+                                   const std::vector<double>& speeds);
+
 /// Evaluates the heterogeneous makespan of `tracker` under `plan`'s
-/// straggler speeds.
+/// straggler speeds. Thin wrapper over the same per-(round, server) speed
+/// evaluation as the vector overload.
 MakespanBreakdown SimulateMakespan(const LoadTracker& tracker, const FaultPlan& plan);
 
 }  // namespace resilience

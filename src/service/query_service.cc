@@ -293,6 +293,10 @@ ServiceRunStats QueryService::Run() {
   std::deque<Pending> wait_queue;
   std::map<uint64_t, Running> running;  // query_id -> in-flight record
   LeaseManager leases(config_.total_servers);
+  leases.SetSpeeds(config_.server_speeds);
+  // Heterogeneous pools lease in speed-capacity units (servers_per_query
+  // units of aggregate speed); uniform pools keep count-based grants.
+  const bool capacity_mode = !config_.server_speeds.empty();
   stats.entry_fingerprints.assign(catalog_.size(), LoadFingerprint{});
   std::vector<uint64_t> queue_waits;
 
@@ -332,7 +336,10 @@ ServiceRunStats QueryService::Run() {
     // pipelines then execute concurrently on the thread pool.
     std::vector<Dispatched> batch;
     while (!wait_queue.empty()) {
-      auto lease = leases.Acquire(config_.servers_per_query);
+      auto lease = capacity_mode
+                       ? leases.AcquireCapacity(
+                             static_cast<double>(config_.servers_per_query))
+                       : leases.Acquire(config_.servers_per_query);
       if (!lease.has_value()) break;
       const Pending pending = wait_queue.front();
       wait_queue.pop_front();
@@ -380,8 +387,13 @@ ServiceRunStats QueryService::Run() {
     std::vector<ExecutionResult> results(batch.size());
     const auto run_one = [&](size_t i) {
       const RegisteredQuery& entry = catalog_[batch[i].catalog_index];
+      // Plans are keyed and computed at p = servers_per_query; a capacity
+      // lease may hold fewer physical servers (its aggregate speed covers
+      // the same p speed-units), so execution uses the plan's p, not the
+      // lease footprint. Identical in count mode where the two agree.
       results[i] = ExecuteRegistered(entry.query, entry.instance, batch[i].plan,
-                                     batch[i].lease.size, config_.collect_results);
+                                     config_.servers_per_query,
+                                     config_.collect_results);
     };
     if (batch.size() == 1) {
       run_one(0);

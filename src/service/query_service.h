@@ -82,6 +82,15 @@ std::optional<PlannerMode> ParsePlannerMode(const std::string& text);
 struct ServiceConfig {
   uint32_t total_servers = 256;     ///< the simulated p-server pool
   uint32_t servers_per_query = 64;  ///< sub-cluster lease size
+  /// Per-server speeds (size total_servers, all > 0) for a heterogeneous
+  /// pool. When non-empty, leases are granted in speed-capacity units:
+  /// each query asks for `servers_per_query` units of aggregate speed and
+  /// receives the first-fit minimal range covering them (LeaseManager::
+  /// AcquireCapacity), so fast servers shrink the footprint. Empty keeps
+  /// the historical count-based Acquire, and a vector of all 1.0 grants
+  /// bit-identical leases to empty — the cluster_elastic experiment and
+  /// the service tests verify the run digests match.
+  std::vector<double> server_speeds;
   bool cache_enabled = true;
   size_t cache_capacity = 64;
   bool collect_results = false;  ///< pipelines run charge-only by default

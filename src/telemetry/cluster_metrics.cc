@@ -1,0 +1,32 @@
+#include "telemetry/cluster_metrics.h"
+
+#include <vector>
+
+#include "cluster/cluster_telemetry.h"
+
+namespace coverpack {
+namespace telemetry {
+
+void SnapshotClusterTelemetryInto(MetricsRegistry* registry) {
+  static const std::vector<double> kMigrationBounds = {1.0, 10.0, 100.0, 1000.0,
+                                                       1e4, 1e5,  1e6,   1e7};
+  const cluster::ClusterTelemetrySnapshot snapshot = cluster::ClusterTelemetry::Snapshot();
+  if (snapshot.runs == 0) return;
+  registry->AddCounter("cluster.runs", snapshot.runs);
+  registry->AddCounter("cluster.migrations", snapshot.migrations);
+  registry->AddCounter("cluster.servers_joined", snapshot.servers_joined);
+  registry->AddCounter("cluster.servers_left", snapshot.servers_left);
+  registry->AddCounter("cluster.tuples_migrated", snapshot.tuples_migrated);
+  registry->AddCounter("cluster.tuples_from_leavers", snapshot.tuples_from_leavers);
+  registry->AddCounter("cluster.tuples_to_joiners", snapshot.tuples_to_joiners);
+  registry->AddCounter("cluster.checkpoints_captured", snapshot.checkpoints_captured);
+  registry->AddCounter("cluster.checkpoint_tuples", snapshot.checkpoint_tuples);
+  registry->SetGauge("cluster.max_single_migration",
+                     static_cast<double>(snapshot.max_single_migration));
+  Histogram& migrated =
+      registry->GetHistogram("cluster.migration_tuples", kMigrationBounds);
+  for (double v : snapshot.migration_samples) migrated.Observe(v);
+}
+
+}  // namespace telemetry
+}  // namespace coverpack

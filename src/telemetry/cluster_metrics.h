@@ -1,0 +1,29 @@
+/// \file cluster_metrics.h
+/// \brief Bridges the elastic-cluster ledger into a MetricsRegistry (and
+/// therefore into RunReport / BENCH_results.json).
+///
+/// Same shape as resilience_metrics.h: cp_telemetry links cp_cluster, the
+/// cluster layer exposes a plain-struct snapshot, and this translates it
+/// into the "cluster.*" metric keys documented in EXPERIMENTS.md.
+
+#ifndef COVERPACK_TELEMETRY_CLUSTER_METRICS_H_
+#define COVERPACK_TELEMETRY_CLUSTER_METRICS_H_
+
+#include "telemetry/metrics.h"
+
+namespace coverpack {
+namespace telemetry {
+
+/// Writes the current ClusterTelemetry ledger into `registry`: cluster.*
+/// counters (runs, migrations, servers joined/left, tuples migrated with
+/// leaver/joiner splits, checkpoint accounting), the max single-server
+/// migration receive gauge, and the per-migration volume histogram. No-op
+/// when no elastic pipeline ran since the last ClusterTelemetry::Reset(),
+/// so non-cluster reports keep their schema byte-identical. Call from the
+/// thread that owns `registry`.
+void SnapshotClusterTelemetryInto(MetricsRegistry* registry);
+
+}  // namespace telemetry
+}  // namespace coverpack
+
+#endif  // COVERPACK_TELEMETRY_CLUSTER_METRICS_H_

@@ -1,0 +1,13 @@
+// cplint fixture: epoch membership kept in an unordered set and iterated
+// to build the active-slot list. In src/cluster/ the routing cuts and
+// migration targets would then depend on hash-table layout, so the same
+// elastic schedule could place rows differently between runs.
+#include <unordered_set>
+#include <vector>
+
+std::vector<unsigned> ActiveSlots() {
+  std::unordered_set<unsigned> members{0, 1, 2, 3};
+  std::vector<unsigned> active;
+  for (unsigned slot : members) active.push_back(slot);
+  return active;
+}

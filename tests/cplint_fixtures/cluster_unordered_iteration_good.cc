@@ -1,0 +1,11 @@
+// cplint fixture: the sanctioned membership shape — ascending slot-id
+// vectors (joins activate the lowest inactive ids, leaves drop the
+// highest), so every epoch's active list is deterministic by construction
+// and routing cuts never depend on container layout.
+#include <algorithm>
+#include <vector>
+
+std::vector<unsigned> ActiveSlots(std::vector<unsigned> members) {
+  std::sort(members.begin(), members.end());
+  return members;
+}

@@ -1,0 +1,14 @@
+// cplint fixture: migration planning driven by ambient randomness. In
+// src/cluster/ this would let two runs of the same join/leave schedule
+// pick different surplus-to-deficit moves, so migrated state could not be
+// byte-diffed across thread counts and the crash-storm replay would
+// diverge from the clean run.
+#include <random>
+
+unsigned PickDeficitSlot(unsigned num_deficits) {
+  std::random_device entropy;
+  std::mt19937_64 gen;
+  return static_cast<unsigned>((gen() ^ entropy()) % num_deficits);
+}
+
+int JitterMigrationOrder() { return rand(); }

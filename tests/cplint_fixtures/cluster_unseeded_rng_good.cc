@@ -1,0 +1,17 @@
+// cplint fixture: the sanctioned migration plan — no randomness at all.
+// Surplus tails stream to deficit slots in ascending (source, destination)
+// order, a pure function of the shard sizes, so the rebalancing exchange
+// is bit-identical on every replay.
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+std::vector<std::pair<uint32_t, uint32_t>> PlanMoves(
+    const std::vector<uint32_t>& surplus_slots,
+    const std::vector<uint32_t>& deficit_slots) {
+  std::vector<std::pair<uint32_t, uint32_t>> moves;
+  for (uint32_t src : surplus_slots) {
+    for (uint32_t dst : deficit_slots) moves.emplace_back(src, dst);
+  }
+  return moves;
+}

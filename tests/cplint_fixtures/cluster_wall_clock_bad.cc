@@ -1,0 +1,21 @@
+// cplint fixture: a cluster profile that reads server speeds off the host
+// clock. In src/cluster/ this would make SpeedOfSlot impure, so two
+// profiles built from the same spec would route rows differently — the
+// hetero-vs-uniform makespan comparison and the elastic byte-identity
+// claim both collapse.
+#include <chrono>
+#include <ctime>
+
+struct SlotProbe {
+  double speed = 1.0;
+  long measured_at = 0;
+};
+
+SlotProbe MeasureSlotSpeed(unsigned slot) {
+  SlotProbe probe;
+  const long now =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  probe.speed = 1.0 + static_cast<double>((now + slot) % 7);
+  probe.measured_at = time(nullptr);
+  return probe;
+}

@@ -1,0 +1,11 @@
+// cplint fixture: the sanctioned cluster speed source — a pure function
+// of (spec seed, slot id). Content-keyed like FaultPlan: any process, any
+// thread count, any fault schedule derives the identical fleet.
+#include <cstdint>
+
+double SeededSlotSpeed(uint64_t spec_seed, uint32_t slot) {
+  uint64_t z = spec_seed ^ (0x9E3779B97F4A7C15ull * (slot + 1));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return 1.0 + static_cast<double>((z >> 11) % 7000) / 1000.0;
+}

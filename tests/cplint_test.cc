@@ -173,6 +173,35 @@ TEST(CplintRules, DeterminismRulesGuardPlannerPaths) {
   }
 }
 
+TEST(CplintRules, DeterminismRulesGuardClusterPaths) {
+  // The cluster subsystem's whole contract is content-keyed determinism:
+  // speeds are pure functions of (spec, slot), epochs of (base_p,
+  // schedule), migration plans of the shard sizes. Prove all three
+  // determinism rules live on cluster-flavored violations under
+  // src/cluster/ paths (no exemption applies there) and quiet on the
+  // sanctioned counterparts.
+  const struct {
+    std::string rule;
+    std::string stem;
+    std::string cluster_path;
+  } kCases[] = {
+      {"no-wall-clock", "cluster_wall_clock", "src/cluster/cluster_profile.cc"},
+      {"no-unseeded-rng", "cluster_unseeded_rng", "src/cluster/elastic.cc"},
+      {"no-unordered-iteration", "cluster_unordered_iteration",
+       "src/cluster/routing.cc"},
+  };
+  for (const auto& c : kCases) {
+    const std::string bad = ReadFixture(c.stem + "_bad.cc");
+    const std::string good = ReadFixture(c.stem + "_good.cc");
+    EXPECT_TRUE(RuleNames(LintContent(c.cluster_path, bad, {c.rule})).count(c.rule) > 0)
+        << c.rule << " did not fire on " << c.cluster_path;
+    EXPECT_TRUE(LintContent(c.cluster_path, good, {}).empty())
+        << c.rule << " false-positive on " << c.cluster_path;
+    // Unfiltered, the full rule catalog must also surface the violation.
+    EXPECT_TRUE(RuleNames(LintContent(c.cluster_path, bad, {})).count(c.rule) > 0);
+  }
+}
+
 TEST(CplintRules, NoPerRowAppendGuardsHotPaths) {
   // The columnar substrate's hot-path contract: src/mpc/ and src/query/
   // append in bulk only (AppendRows/AppendUninitialized). The rule is

@@ -48,6 +48,7 @@ namespace {
 using testutil::MaskTimers;
 using testutil::RelationsEqual;
 using testutil::ReportJson;
+using testutil::StripClusterMetrics;
 using testutil::StripResilienceMetrics;
 using testutil::TrackersEqual;
 
@@ -314,6 +315,44 @@ TEST_F(DeterminismTest, PlannerAblationReportIsBitIdenticalAcrossThreadCounts) {
   EXPECT_NE(serial_json.find("planner.ablation.within_10pct_fraction"),
             std::string::npos);
   EXPECT_NE(serial_json.find("planner.ablation.cache_misses"), std::string::npos);
+}
+
+// The cluster subsystem's determinism contract, explicitly: the elastic
+// sweep (speed-weighted routing, membership migrations, chaos composition)
+// is byte-identical at 1 vs 4 threads, and a crash-storm FaultPlan wrapped
+// around the whole experiment changes nothing but the fault./recovery.
+// ledger — the cluster.* ledger itself is content-determined, so it is
+// compared, not stripped, in the thread diff, and stripped only alongside
+// the resilience keys in the chaos diff.
+TEST_F(DeterminismTest, ClusterElasticReportIsBitIdenticalAcrossThreadsAndChaos) {
+  const bench::Experiment* experiment = bench::FindExperiment("cluster_elastic");
+  ASSERT_NE(experiment, nullptr);
+  ThreadPool::SetGlobalThreads(1);
+  telemetry::RunReport serial = bench::RunExperiment(*experiment);
+  ThreadPool::SetGlobalThreads(4);
+  telemetry::RunReport parallel = bench::RunExperiment(*experiment);
+  EXPECT_TRUE(serial.ok);
+  const std::string serial_json = MaskTimers(ReportJson(serial));
+  EXPECT_EQ(serial_json, MaskTimers(ReportJson(parallel)));
+  // The diff above is only meaningful if the cluster ledger is really in
+  // the compared bytes.
+  EXPECT_NE(serial_json.find("cluster.tuples_migrated"), std::string::npos);
+  EXPECT_NE(serial_json.find("cluster.migrations"), std::string::npos);
+
+  resilience::FaultSpec storm;
+  storm.seed = 0x57021;
+  storm.crash_rate = 0.15;
+  storm.drop_rate = 0.005;
+  storm.duplicate_rate = 0.005;
+  telemetry::RunReport stormy;
+  {
+    resilience::ScopedFaultInjection injection(storm);
+    stormy = bench::RunExperiment(*experiment);
+  }
+  EXPECT_EQ(serial.ok, stormy.ok);
+  EXPECT_EQ(StripClusterMetrics(StripResilienceMetrics(serial_json)),
+            StripClusterMetrics(
+                StripResilienceMetrics(MaskTimers(ReportJson(stormy)))));
 }
 
 TEST_F(DeterminismTest, PlanChooserDecisionDigestsAreThreadCountInvariant) {
